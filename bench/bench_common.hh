@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure bench binaries.
+ *
+ * Every bench accepts "key=value" overrides on the command line:
+ *   instructions=N   trace length per workload (default 200000;
+ *                    the paper samples 5000000 — pass that for full
+ *                    fidelity runs)
+ *   height=L z=Z stash=N wpq=N channels=N banks=N seed=N
+ *   cipher=aes|fast  tech=pcm|stt
+ *   workloads=K      only run the first K workloads (quick looks)
+ */
+
+#ifndef PSORAM_BENCH_BENCH_COMMON_HH
+#define PSORAM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sim/designs.hh"
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace psoram::bench {
+
+struct BenchContext
+{
+    Config overrides;
+    std::uint64_t instructions = 200'000;
+    std::vector<WorkloadSpec> workloads;
+
+    GeneratorParams
+    genParams(std::uint64_t seed_salt = 0) const
+    {
+        GeneratorParams gen;
+        gen.instructions = instructions;
+        gen.seed = overrides.getUint("seed", 1) ^ (seed_salt * 0x9e37);
+        return gen;
+    }
+};
+
+inline BenchContext
+parseContext(int argc, char **argv)
+{
+    BenchContext ctx;
+    ctx.overrides.parseArgs(argc, argv);
+    ctx.instructions =
+        ctx.overrides.getUint("instructions", 200'000);
+    ctx.workloads = spec2006Workloads();
+    const auto limit = ctx.overrides.getUint("workloads", 0);
+    if (limit > 0 && limit < ctx.workloads.size())
+        ctx.workloads.resize(limit);
+    return ctx;
+}
+
+/** Run one (design, workload) cell. */
+inline WorkloadResult
+runCell(const BenchContext &ctx, DesignKind design,
+        const WorkloadSpec &workload, unsigned channels = 0)
+{
+    SystemConfig config = configFromOverrides(ctx.overrides, design);
+    if (channels != 0)
+        config.channels = channels;
+    return runWorkload(config, workload,
+                       ctx.genParams(workload.mpki * 1000));
+}
+
+/** Normalized execution time of @p design vs @p baseline per workload,
+ *  plus the average; prints one row per workload. */
+struct NormalizedSeries
+{
+    std::vector<double> per_workload;
+    double mean = 0.0;
+};
+
+inline NormalizedSeries
+normalize(const std::vector<WorkloadResult> &design_results,
+          const std::vector<WorkloadResult> &baseline_results,
+          double (*metric)(const WorkloadResult &))
+{
+    NormalizedSeries series;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < design_results.size(); ++i) {
+        const double value = metric(design_results[i]) /
+                             metric(baseline_results[i]);
+        series.per_workload.push_back(value);
+        sum += value;
+    }
+    series.mean = design_results.empty()
+        ? 0.0
+        : sum / static_cast<double>(design_results.size());
+    return series;
+}
+
+inline double
+cyclesMetric(const WorkloadResult &r)
+{
+    return static_cast<double>(r.core.cycles);
+}
+
+inline double
+readsMetric(const WorkloadResult &r)
+{
+    return static_cast<double>(r.traffic.reads);
+}
+
+inline double
+writesMetric(const WorkloadResult &r)
+{
+    return static_cast<double>(r.traffic.writes);
+}
+
+} // namespace psoram::bench
+
+#endif // PSORAM_BENCH_BENCH_COMMON_HH

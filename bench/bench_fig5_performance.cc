@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 5 — normalized execution time of every design variant
+ * (Z = 4, 1 channel, 1 core).
+ *
+ * 5(a): Baseline, FullNVM, FullNVM(STT), Naive-PS-ORAM, PS-ORAM
+ *       normalized to Baseline.
+ * 5(b): Rcr-Baseline and Rcr-PS-ORAM normalized to Baseline, plus the
+ *       Rcr-PS-ORAM / Rcr-Baseline gap the paper quotes (3.65%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psoram;
+    using namespace psoram::bench;
+
+    BenchContext ctx = parseContext(argc, argv);
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::Baseline);
+    printConfigBanner(std::cout, banner, ctx.instructions);
+
+    const std::vector<DesignKind> designs = allDesigns();
+
+    // Run everything once: results[design][workload].
+    std::map<DesignKind, std::vector<WorkloadResult>> results;
+    for (const DesignKind design : designs) {
+        for (const WorkloadSpec &workload : ctx.workloads)
+            results[design].push_back(runCell(ctx, design, workload));
+    }
+    const auto &base = results[DesignKind::Baseline];
+
+    std::cout << "\n# Figure 5(a): normalized execution time "
+                 "(non-recursive designs; Baseline = 1.0)\n";
+    std::vector<std::string> header{"Workload"};
+    for (const DesignKind design : nonRecursiveDesigns())
+        header.push_back(designName(design));
+    TextTable table_a(header);
+    for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
+        std::vector<std::string> row{ctx.workloads[w].name};
+        for (const DesignKind design : nonRecursiveDesigns())
+            row.push_back(TextTable::num(
+                cyclesMetric(results[design][w]) /
+                cyclesMetric(base[w]), 3));
+        table_a.addRow(row);
+    }
+    std::vector<std::string> avg_row{"average"};
+    for (const DesignKind design : nonRecursiveDesigns())
+        avg_row.push_back(TextTable::num(
+            normalize(results[design], base, cyclesMetric).mean, 3));
+    table_a.addRow(avg_row);
+    table_a.print(std::cout);
+
+    std::cout << "\n# Paper 5(a) averages: FullNVM +90.54%, "
+                 "FullNVM(STT) +37.69%, Naive-PS-ORAM +73.92%, "
+                 "PS-ORAM +4.29%\n";
+    std::cout << "# Measured averages:";
+    for (const DesignKind design :
+         {DesignKind::FullNvm, DesignKind::FullNvmStt,
+          DesignKind::NaivePsOram, DesignKind::PsOram})
+        std::cout << " " << designName(design) << " "
+                  << TextTable::pct(
+                         normalize(results[design], base,
+                                   cyclesMetric).mean - 1.0);
+    std::cout << "\n";
+
+    std::cout << "\n# Figure 5(b): recursive designs (normalized to "
+                 "the non-recursive Baseline)\n";
+    TextTable table_b({"Workload", "Rcr-Baseline", "Rcr-PS-ORAM",
+                       "Rcr gap"});
+    for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
+        const double rcr_base =
+            cyclesMetric(results[DesignKind::RcrBaseline][w]) /
+            cyclesMetric(base[w]);
+        const double rcr_ps =
+            cyclesMetric(results[DesignKind::RcrPsOram][w]) /
+            cyclesMetric(base[w]);
+        table_b.addRow({ctx.workloads[w].name,
+                        TextTable::num(rcr_base, 3),
+                        TextTable::num(rcr_ps, 3),
+                        TextTable::pct(rcr_ps / rcr_base - 1.0)});
+    }
+    const double rcr_base_mean =
+        normalize(results[DesignKind::RcrBaseline], base,
+                  cyclesMetric).mean;
+    const double rcr_ps_mean =
+        normalize(results[DesignKind::RcrPsOram], base,
+                  cyclesMetric).mean;
+    table_b.addRow({"average", TextTable::num(rcr_base_mean, 3),
+                    TextTable::num(rcr_ps_mean, 3),
+                    TextTable::pct(rcr_ps_mean / rcr_base_mean - 1.0)});
+    table_b.print(std::cout);
+    std::cout << "# Paper 5(b): Rcr-Baseline +68.93% vs Baseline, "
+                 "Rcr-PS-ORAM +3.65% vs Rcr-Baseline\n";
+    return 0;
+}

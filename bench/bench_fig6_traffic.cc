@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 6 — NVM read and write traffic of every design, normalized to
+ * Baseline (single channel).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psoram;
+    using namespace psoram::bench;
+
+    BenchContext ctx = parseContext(argc, argv);
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::Baseline);
+    printConfigBanner(std::cout, banner, ctx.instructions);
+
+    std::map<DesignKind, std::vector<WorkloadResult>> results;
+    for (const DesignKind design : allDesigns())
+        for (const WorkloadSpec &workload : ctx.workloads)
+            results[design].push_back(runCell(ctx, design, workload));
+    const auto &base = results[DesignKind::Baseline];
+
+    for (const bool writes : {false, true}) {
+        std::cout << "\n# Figure 6(" << (writes ? "b" : "a")
+                  << "): normalized NVM " << (writes ? "write" : "read")
+                  << " traffic (Baseline = 1.0)\n";
+        std::vector<std::string> header{"Workload"};
+        for (const DesignKind design : allDesigns())
+            header.push_back(designName(design));
+        TextTable table(header);
+        const auto metric = writes ? writesMetric : readsMetric;
+        for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
+            std::vector<std::string> row{ctx.workloads[w].name};
+            for (const DesignKind design : allDesigns())
+                row.push_back(TextTable::num(
+                    metric(results[design][w]) / metric(base[w]), 3));
+            table.addRow(row);
+        }
+        std::vector<std::string> avg{"average"};
+        for (const DesignKind design : allDesigns())
+            avg.push_back(TextTable::num(
+                normalize(results[design], base, metric).mean, 3));
+        table.addRow(avg);
+        table.print(std::cout);
+    }
+
+    std::cout << "\n# Paper: reads — recursive designs +90.28%/+90.54%,"
+                 " others unchanged.\n"
+              << "# Paper: writes — FullNVM +111.63%, Naive ~+100%, "
+                 "PS-ORAM +4.84%, Rcr-PS-ORAM +15.54% over "
+                 "Rcr-Baseline.\n";
+    const double rcr_delta =
+        normalize(results[DesignKind::RcrPsOram],
+                  results[DesignKind::RcrBaseline], writesMetric).mean;
+    std::cout << "# Measured: Rcr-PS-ORAM writes vs Rcr-Baseline: "
+              << TextTable::pct(rcr_delta - 1.0) << "\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7 — performance in multi-channel systems (1 / 2 / 4 channels)
+ * for Baseline, PS-ORAM, Rcr-Baseline and Rcr-PS-ORAM.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psoram;
+    using namespace psoram::bench;
+
+    BenchContext ctx = parseContext(argc, argv);
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::Baseline);
+    printConfigBanner(std::cout, banner, ctx.instructions);
+
+    const std::vector<DesignKind> designs = {
+        DesignKind::Baseline, DesignKind::PsOram,
+        DesignKind::RcrBaseline, DesignKind::RcrPsOram};
+    const unsigned channel_counts[] = {1, 2, 4};
+
+    // results[design][channel_index] = mean cycles across workloads.
+    std::map<DesignKind, std::array<double, 3>> mean_cycles;
+    std::map<DesignKind, std::array<std::vector<WorkloadResult>, 3>>
+        all;
+    for (const DesignKind design : designs) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            double sum = 0.0;
+            for (const WorkloadSpec &workload : ctx.workloads) {
+                const WorkloadResult result =
+                    runCell(ctx, design, workload, channel_counts[c]);
+                all[design][c].push_back(result);
+                sum += static_cast<double>(result.core.cycles);
+            }
+            mean_cycles[design][c] =
+                sum / static_cast<double>(ctx.workloads.size());
+        }
+    }
+
+    std::cout << "\n# Figure 7: mean execution time normalized to the "
+                 "design's own 1-channel run\n";
+    TextTable table({"Design", "1ch", "2ch", "4ch",
+                     "perf +% (2ch vs 1ch)", "perf +% (4ch vs 1ch)"});
+    for (const DesignKind design : designs) {
+        const auto &m = mean_cycles[design];
+        table.addRow({designName(design), "1.000",
+                      TextTable::num(m[1] / m[0], 3),
+                      TextTable::num(m[2] / m[0], 3),
+                      TextTable::pct(m[0] / m[1] - 1.0),
+                      TextTable::pct(m[0] / m[2] - 1.0)});
+    }
+    table.print(std::cout);
+    std::cout << "# Paper: PS-ORAM +51.26% (2ch) / +53.76% (4ch) over "
+                 "1ch; Rcr-PS-ORAM +46.50% / +55.21%\n";
+
+    std::cout << "\n# Gap of the PS designs vs their baselines per "
+                 "channel count\n";
+    TextTable gaps({"Channels", "PS-ORAM vs Baseline",
+                    "Rcr-PS-ORAM vs Rcr-Baseline"});
+    for (std::size_t c = 0; c < 3; ++c) {
+        gaps.addRow({std::to_string(channel_counts[c]),
+                     TextTable::pct(mean_cycles[DesignKind::PsOram][c] /
+                                        mean_cycles[DesignKind::Baseline]
+                                                   [c] - 1.0),
+                     TextTable::pct(
+                         mean_cycles[DesignKind::RcrPsOram][c] /
+                             mean_cycles[DesignKind::RcrBaseline][c] -
+                         1.0)});
+    }
+    gaps.print(std::cout);
+    std::cout << "# Paper: PS-ORAM slower than Baseline by 4.29% / "
+                 "4.94% / 5.32%; Rcr by 3.65% / 2.12% / 5.36%\n";
+    return 0;
+}

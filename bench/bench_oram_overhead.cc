@@ -1,0 +1,61 @@
+/**
+ * @file
+ * §5.1 datum — ORAM overhead vs a non-ORAM NVM system: the paper quotes
+ * 2x-24x (avg ~11x) at one channel and 1.8x-21x (avg ~6.5x) at four.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psoram;
+    using namespace psoram::bench;
+
+    BenchContext ctx = parseContext(argc, argv);
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::Baseline);
+    printConfigBanner(std::cout, banner, ctx.instructions);
+
+    std::cout << "\n# Path ORAM (Baseline) vs non-ORAM NVM main "
+                 "memory\n";
+    TextTable table({"Workload", "overhead (1ch)", "overhead (4ch)"});
+    double sum1 = 0.0, sum4 = 0.0;
+    double min1 = 1e30, max1 = 0.0;
+    for (const WorkloadSpec &workload : ctx.workloads) {
+        SystemConfig config1 =
+            configFromOverrides(ctx.overrides, DesignKind::Baseline);
+        SystemConfig config4 = config1;
+        config4.channels = 4;
+        const GeneratorParams gen = ctx.genParams(workload.mpki * 131);
+
+        const double oram1 = static_cast<double>(
+            runWorkload(config1, workload, gen).core.cycles);
+        const double raw1 = static_cast<double>(
+            runWorkloadNoOram(config1, workload, gen).core.cycles);
+        const double oram4 = static_cast<double>(
+            runWorkload(config4, workload, gen).core.cycles);
+        const double raw4 = static_cast<double>(
+            runWorkloadNoOram(config4, workload, gen).core.cycles);
+
+        const double o1 = oram1 / raw1;
+        const double o4 = oram4 / raw4;
+        sum1 += o1;
+        sum4 += o4;
+        min1 = std::min(min1, o1);
+        max1 = std::max(max1, o1);
+        table.addRow({workload.name, TextTable::num(o1, 2) + "x",
+                      TextTable::num(o4, 2) + "x"});
+    }
+    const double n = static_cast<double>(ctx.workloads.size());
+    table.addRow({"average", TextTable::num(sum1 / n, 2) + "x",
+                  TextTable::num(sum4 / n, 2) + "x"});
+    table.print(std::cout);
+    std::cout << "# Measured range (1ch): " << TextTable::num(min1, 1)
+              << "x - " << TextTable::num(max1, 1)
+              << "x; paper: 2x-24x (avg ~11x) at 1ch, avg ~6.5x at "
+                 "4ch.\n";
+    return 0;
+}

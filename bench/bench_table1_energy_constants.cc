@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1 — energy cost estimation constants for crash-time draining
+ * (following BBB [3]; see energy/drain_model.hh).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/drain_model.hh"
+
+int
+main()
+{
+    using namespace psoram;
+
+    const DrainCostParams params;
+    std::cout << "# Table 1: Energy cost estimation in case of system "
+                 "crashes (following [3])\n";
+    TextTable table({"Operation", "Energy Cost", "Paper"});
+    table.addRow({"Accessing data from SRAM",
+                  TextTable::num(params.sram_access_j_per_byte * 1e12,
+                                 3) + " pJ/Byte",
+                  "1 pJ/Byte"});
+    table.addRow({"Moving data from L1D to NVM",
+                  TextTable::num(params.l1_to_nvm_j_per_byte * 1e9, 3) +
+                      " nJ/Byte",
+                  "11.839 nJ/Byte"});
+    table.addRow({"Moving data from L2/stash/PosMap/WPQs to NVM",
+                  TextTable::num(params.l2_to_nvm_j_per_byte * 1e9, 3) +
+                      " nJ/Byte",
+                  "11.228 nJ/Byte"});
+    table.print(std::cout);
+    return 0;
+}

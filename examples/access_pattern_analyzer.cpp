@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Access-pattern analyzer: plays the adversary of the paper's threat
+ * model (§2.1). It records the path identifiers visible on the memory
+ * bus for three very different program behaviours and shows that the
+ * observed distributions are statistically indistinguishable — the
+ * ORAM obfuscation at work, unchanged by PS-ORAM's persistence.
+ *
+ *   $ ./example_access_pattern_analyzer
+ */
+
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/system.hh"
+
+using namespace psoram;
+
+namespace {
+
+constexpr unsigned kHeight = 6; // 64 leaves for a readable histogram
+
+std::vector<PathId>
+observe(const std::string &behaviour, int accesses)
+{
+    SystemConfig config;
+    config.design = DesignKind::PsOram;
+    config.tree_height = kHeight;
+    config.num_blocks = 120;
+    config.seed = 31337;
+    System system = buildSystem(config);
+
+    std::vector<PathId> leaves;
+    system.controller->setPathObserver(
+        [&](PathId leaf) { leaves.push_back(leaf); });
+
+    Rng rng(11);
+    std::uint8_t buf[kBlockDataBytes] = {};
+    for (int op = 0; op < accesses; ++op) {
+        BlockAddr addr;
+        if (behaviour == "sequential")
+            addr = static_cast<BlockAddr>(op) % 120;
+        else if (behaviour == "hot-block")
+            addr = rng.nextBelow(4); // hammer four blocks
+        else
+            addr = rng.nextBelow(120); // uniform
+        if (op % 3 == 0)
+            system.controller->write(addr, buf);
+        else
+            system.controller->read(addr, buf);
+    }
+    return leaves;
+}
+
+double
+chiSquare(const std::vector<PathId> &leaves)
+{
+    std::vector<double> histogram(1ULL << kHeight, 0.0);
+    for (const PathId leaf : leaves)
+        histogram[leaf] += 1.0;
+    const double expected =
+        static_cast<double>(leaves.size()) / histogram.size();
+    double chi2 = 0.0;
+    for (const double count : histogram)
+        chi2 += (count - expected) * (count - expected) / expected;
+    return chi2;
+}
+
+void
+sparkline(const std::vector<PathId> &leaves)
+{
+    std::vector<int> histogram(16, 0);
+    for (const PathId leaf : leaves)
+        ++histogram[leaf / 4]; // 4 leaves per bin
+    int max = 1;
+    for (const int count : histogram)
+        max = std::max(max, count);
+    const char *glyphs = " .:-=+*#%@";
+    std::cout << "    [";
+    for (const int count : histogram)
+        std::cout << glyphs[(count * 9) / max];
+    std::cout << "]\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "What the bus adversary sees for three program "
+                 "behaviours (" << (1 << kHeight) << " leaves):\n\n";
+
+    for (const std::string behaviour :
+         {"sequential", "hot-block", "uniform"}) {
+        const std::vector<PathId> leaves = observe(behaviour, 4000);
+        std::cout << "  " << std::left << std::setw(11) << behaviour
+                  << " " << leaves.size()
+                  << " path accesses, chi^2 vs uniform = " << std::fixed
+                  << std::setprecision(1) << chiSquare(leaves)
+                  << "  (63 dof, ~103 is the 99.9th pct)\n";
+        sparkline(leaves);
+    }
+
+    std::cout << "\nAll three leaf distributions are uniform: the "
+                 "adversary cannot tell a\nsequential scan from four "
+                 "hammered blocks — with persistence enabled.\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Crash-recovery walkthrough: injects a power failure at every protocol
+ * site of the PS-ORAM access (the paper's §3.3 case studies) and shows
+ * the recovery outcome — then does the same for the Baseline design to
+ * demonstrate why crash consistency needs PS-ORAM in the first place.
+ *
+ *   $ ./example_crash_recovery_demo
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "common/random.hh"
+#include "psoram/recovery.hh"
+#include "sim/system.hh"
+
+using namespace psoram;
+
+namespace {
+
+void
+payload(BlockAddr addr, std::uint32_t version, std::uint8_t *out)
+{
+    std::memset(out, 0, kBlockDataBytes);
+    std::memcpy(out, &addr, sizeof(addr));
+    std::memcpy(out + 8, &version, sizeof(version));
+}
+
+std::uint32_t
+versionOf(const std::uint8_t *data)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, data + 8, sizeof(v));
+    return v;
+}
+
+struct Outcome
+{
+    std::size_t checked = 0;
+    std::size_t intact = 0; // last-committed-or-newer recovered
+    std::size_t lost = 0;
+    std::size_t stale = 0; // recovered something older than written
+};
+
+Outcome
+crashAndRecover(DesignKind design, CrashSite site)
+{
+    SystemConfig config;
+    config.design = design;
+    config.tree_height = 8;
+    config.num_blocks = 200;
+    config.seed = 4242;
+    System system = buildSystem(config);
+
+    std::map<BlockAddr, std::uint32_t> durable, latest;
+    system.controller->setCommitObserver(
+        [&](BlockAddr addr, const auto &data) {
+            durable[addr] =
+                std::max(durable[addr], versionOf(data.data()));
+        });
+    CrashAtOccurrence policy(site, 40);
+    system.controller->setCrashPolicy(&policy);
+
+    Rng rng(7);
+    std::uint8_t buf[kBlockDataBytes];
+    for (int op = 0; op < 600; ++op) {
+        const BlockAddr addr = rng.nextBelow(200);
+        payload(addr, static_cast<std::uint32_t>(op + 1), buf);
+        try {
+            system.controller->write(addr, buf);
+            latest[addr] = static_cast<std::uint32_t>(op + 1);
+        } catch (const CrashEvent &) {
+            // The in-flight write may or may not have become durable.
+            latest[addr] = static_cast<std::uint32_t>(op + 1);
+            break;
+        }
+    }
+
+    system.recoverController();
+
+    Outcome outcome;
+    for (const auto &[addr, version] : latest) {
+        system.controller->read(addr, buf);
+        const std::uint32_t v = versionOf(buf);
+        ++outcome.checked;
+        if (v >= durable[addr] && v <= version)
+            ++outcome.intact;
+        else
+            ++outcome.lost;
+        if (v != version)
+            ++outcome.stale;
+    }
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    const CrashSite sites[] = {
+        CrashSite::AfterRemap,      CrashSite::DuringLoad,
+        CrashSite::AfterStashUpdate, CrashSite::BeforeCommit,
+        CrashSite::AfterCommit,     CrashSite::BetweenAccesses,
+    };
+
+    std::cout << "PS-ORAM: power failure at each protocol site\n";
+    std::cout << "  (blocks 'intact' recover their last durable or a "
+                 "newer committed version)\n\n";
+    for (const CrashSite site : sites) {
+        const Outcome outcome =
+            crashAndRecover(DesignKind::PsOram, site);
+        std::cout << "  " << crashSiteName(site) << ": "
+                  << outcome.intact << "/" << outcome.checked
+                  << " blocks intact, " << outcome.lost << " lost\n";
+    }
+
+    std::cout << "\nBaseline (no persistence support): the same "
+                 "failure destroys the mapping\n\n";
+    // The Baseline never commits anything durably (no WPQ bracket), so
+    // its oracle is trivial; count how many blocks still hold their
+    // last written value after the failure instead.
+    const Outcome baseline = crashAndRecover(
+        DesignKind::Baseline, CrashSite::DuringDirectEviction);
+    std::cout << "  " << crashSiteName(CrashSite::DuringDirectEviction)
+              << ": " << (baseline.checked - baseline.stale) << "/"
+              << baseline.checked << " blocks kept their data, "
+              << baseline.stale
+              << " lost  <-- the problem PS-ORAM solves\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: build a crash-consistent PS-ORAM system, store and load a
+ * few blocks, then survive a simulated power failure.
+ *
+ *   $ ./example_quickstart
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "psoram/recovery.hh"
+#include "sim/system.hh"
+
+using namespace psoram;
+
+namespace {
+
+void
+putString(PsOramController &oram, BlockAddr addr, const std::string &s)
+{
+    std::uint8_t block[kBlockDataBytes] = {};
+    std::memcpy(block, s.data(), std::min(s.size(), kBlockDataBytes));
+    oram.write(addr, block);
+}
+
+std::string
+getString(PsOramController &oram, BlockAddr addr)
+{
+    std::uint8_t block[kBlockDataBytes] = {};
+    oram.read(addr, block);
+    return std::string(reinterpret_cast<char *>(block));
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Configure a PS-ORAM system: a small tree keeps the demo fast;
+    //    Table 3's configuration would be tree_height=23.
+    SystemConfig config;
+    config.design = DesignKind::PsOram;
+    config.tree_height = 10;             // 2^10 leaves
+    config.cipher = CipherKind::Aes128Ctr;
+    config.seed = 2024;
+
+    System system = buildSystem(config);
+    std::cout << "Built " << designName(config.design) << " with "
+              << system.params.num_blocks << " logical 64B blocks, "
+              << "WPQs of " << system.params.design.wpq_entries
+              << " entries\n";
+
+    // 2. Store some data. Every access is obfuscated: the memory bus
+    //    only ever sees uniformly random tree paths.
+    putString(*system.controller, 0, "hello, oblivious world");
+    putString(*system.controller, 1, "persisted through the WPQs");
+    putString(*system.controller, 2, "and recoverable after a crash");
+
+    std::cout << "block 0: " << getString(*system.controller, 0)
+              << "\n";
+
+    // 3. Simulate a power failure. The stash, PosMap and temporary
+    //    PosMap are volatile and vanish; the ADR domain flushes the
+    //    committed WPQ rounds; recovery rebuilds a controller over the
+    //    same NVM.
+    std::cout << "\n-- power failure --\n\n";
+    system.recoverController();
+
+    for (BlockAddr addr = 0; addr < 3; ++addr)
+        std::cout << "recovered block " << addr << ": "
+                  << getString(*system.controller, addr) << "\n";
+
+    // 4. Some statistics.
+    const TrafficCounts traffic = system.controller->traffic();
+    std::cout << "\nNVM traffic: " << traffic.reads << " reads, "
+              << traffic.writes << " writes ("
+              << system.params.data_layout.geometry.blocksPerPath()
+              << " blocks per path)\n";
+    return 0;
+}

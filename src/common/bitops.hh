@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the tree addressing and the
+ * NVM address decoding logic.
+ */
+
+#ifndef PSORAM_COMMON_BITOPS_HH
+#define PSORAM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace psoram {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)). @pre v > 0 */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)). @pre v > 0 */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1));
+}
+
+/** Integer ceil division. @pre b > 0 */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_BITOPS_HH

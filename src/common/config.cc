@@ -1,0 +1,140 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string &key) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    return lookup(key).value_or(def);
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto v = lookup(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const std::int64_t out = std::strtoll(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        PSORAM_FATAL("config key '", key, "' is not an integer: ", *v);
+    return out;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    const auto v = lookup(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const std::uint64_t out = std::strtoull(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        PSORAM_FATAL("config key '", key, "' is not an integer: ", *v);
+    return out;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const auto v = lookup(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const double out = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+        PSORAM_FATAL("config key '", key, "' is not a number: ", *v);
+    return out;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const auto v = lookup(key);
+    if (!v)
+        return def;
+    if (*v == "true" || *v == "1" || *v == "yes")
+        return true;
+    if (*v == "false" || *v == "0" || *v == "no")
+        return false;
+    PSORAM_FATAL("config key '", key, "' is not a boolean: ", *v);
+}
+
+bool
+Config::parseAssignment(const std::string &token)
+{
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(token.substr(0, eq), token.substr(eq + 1));
+    return true;
+}
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        parseAssignment(argv[i]);
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+void
+Config::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : values_)
+        os << k << " = " << v << "\n";
+}
+
+} // namespace psoram

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Key/value configuration store with typed accessors.
+ *
+ * Benches and examples accept "key=value" command-line overrides; every
+ * simulated component pulls its parameters from a Config so experiments
+ * are reproducible from a single flat parameter list (Table 3 style).
+ */
+
+#ifndef PSORAM_COMMON_CONFIG_HH
+#define PSORAM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psoram {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, std::int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    bool has(const std::string &key) const;
+
+    /** @{ Typed getters; fall back to @p def when the key is absent.
+     *  Malformed values are fatal (user error). */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+    /** @} */
+
+    /**
+     * Parse a "key=value" token (as passed on a bench command line).
+     * @return false if the token is not of that shape.
+     */
+    bool parseAssignment(const std::string &token);
+
+    /** Parse every argv token of the form key=value; ignore the rest. */
+    void parseArgs(int argc, char **argv);
+
+    /** All keys in sorted order, for config dumps. */
+    std::vector<std::string> keys() const;
+
+    /** Dump "key = value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_CONFIG_HH

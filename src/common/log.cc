@@ -1,0 +1,54 @@
+#include "common/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace psoram {
+
+namespace {
+
+LogLevel g_level = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level != LogLevel::Quiet)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level == LogLevel::Verbose)
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace psoram

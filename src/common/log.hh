@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers, modeled on gem5's logging.hh.
+ *
+ * panic()  — simulator bug; should never happen regardless of user input.
+ * fatal()  — simulation cannot continue due to a user error (bad config).
+ * warn()   — something questionable happened but we can continue.
+ * inform() — status message.
+ */
+
+#ifndef PSORAM_COMMON_LOG_HH
+#define PSORAM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace psoram {
+
+/** Verbosity levels for inform(); warnings/errors always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide log verbosity (defaults to Normal). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** @{ Internal sinks; use the variadic wrappers below. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+/** @} */
+
+namespace detail {
+
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    streamAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: simulator invariant violated. */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    panicImpl(file, line, detail::concat(args...));
+}
+
+/** Exit(1) with a message: user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const Args &...args)
+{
+    fatalImpl(file, line, detail::concat(args...));
+}
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnImpl(detail::concat(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informImpl(detail::concat(args...));
+}
+
+} // namespace psoram
+
+#define PSORAM_PANIC(...) ::psoram::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define PSORAM_FATAL(...) ::psoram::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+#endif // PSORAM_COMMON_LOG_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible run-to-run, so every stochastic
+ * component (path remapping, trace generation, crash injection) draws from
+ * an explicitly seeded Xoshiro256** generator instead of global state.
+ */
+
+#ifndef PSORAM_COMMON_RANDOM_HH
+#define PSORAM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace psoram {
+
+/**
+ * Xoshiro256** PRNG (Blackman & Vigna). Small, fast, and good enough for
+ * simulation purposes; not a CSPRNG. The ORAM security analysis assumes a
+ * cryptographic RNG in hardware — the statistical properties exercised by
+ * the simulator are identical.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound), bias-corrected. @pre bound > 0 */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Uniform leaf label for a tree with the given number of leaves. */
+    PathId nextPath(std::uint64_t num_leaves);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_RANDOM_HH

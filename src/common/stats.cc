@@ -1,0 +1,117 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::size_t num_buckets, double bucket_width)
+    : buckets_(num_buckets, 0), width_(bucket_width)
+{
+    if (num_buckets == 0 || bucket_width <= 0.0)
+        PSORAM_PANIC("histogram needs positive bucket count and width");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < 0.0) {
+        ++buckets_[0];
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(fraction * total_);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (running >= target)
+            return (i + 1) * width_;
+    }
+    return buckets_.size() * width_;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    counters_[name] = CounterEntry{c, desc};
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution *d,
+                           const std::string &desc)
+{
+    dists_[name] = DistEntry{d, desc};
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, entry] : counters_) {
+        os << std::left << std::setw(44) << (name_ + "." + name)
+           << std::right << std::setw(16) << entry.counter->value()
+           << "  # " << entry.desc << "\n";
+    }
+    for (const auto &[name, entry] : dists_) {
+        const auto &d = *entry.dist;
+        os << std::left << std::setw(44)
+           << (name_ + "." + name + ".mean")
+           << std::right << std::setw(16) << d.mean()
+           << "  # " << entry.desc << "\n";
+        os << std::left << std::setw(44)
+           << (name_ + "." + name + ".max")
+           << std::right << std::setw(16) << d.max()
+           << "  # max of " << entry.desc << "\n";
+    }
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.counter->value();
+}
+
+} // namespace psoram

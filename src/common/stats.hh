@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of gem5's Stats package.
+ *
+ * Components register named counters/histograms into a StatGroup; the
+ * experiment harness dumps a group recursively to produce the per-design
+ * statistics that feed the table/figure benches.
+ */
+
+#ifndef PSORAM_COMMON_STATS_HH
+#define PSORAM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psoram {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar statistic (min / max / mean / count). */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, buckets * bucketWidth). */
+class Histogram
+{
+  public:
+    Histogram(std::size_t num_buckets, double bucket_width);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return width_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Smallest value v such that fraction() of samples are <= v. */
+    double percentile(double fraction) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics. Components own a StatGroup and
+ * register members once at construction; the harness walks registered
+ * entries to dump them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc);
+    void addDistribution(const std::string &name, const Distribution *d,
+                         const std::string &desc);
+
+    const std::string &name() const { return name_; }
+
+    /** Dump "group.stat value # desc" lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered counter value by name; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+  private:
+    struct CounterEntry { const Counter *counter; std::string desc; };
+    struct DistEntry { const Distribution *dist; std::string desc; };
+
+    std::string name_;
+    std::map<std::string, CounterEntry> counters_;
+    std::map<std::string, DistEntry> dists_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_STATS_HH

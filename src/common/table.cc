@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        PSORAM_PANIC("table row arity ", row.size(), " != header arity ",
+                     header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double ratio, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << std::showpos
+       << ratio * 100.0 << "%";
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    const auto printRow = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c] << " |";
+        os << "\n";
+    };
+    const auto printRule = [&]() {
+        os << "+";
+        for (const auto w : width)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+
+    printRule();
+    printRow(header_);
+    printRule();
+    for (const auto &row : rows_)
+        printRow(row);
+    printRule();
+}
+
+} // namespace psoram

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to reproduce the
+ * paper's tables and figure data series in a readable text form.
+ */
+
+#ifndef PSORAM_COMMON_TABLE_HH
+#define PSORAM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psoram {
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a ratio as a percentage string like "+4.29%". */
+    static std::string pct(double ratio, int precision = 2);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_TABLE_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), encrypt direction only.
+ *
+ * CTR mode (crypto/ctr.hh) only needs the forward cipher. This is a plain
+ * table-free implementation: the simulator models the 32-cycle hardware
+ * AES latency separately (Table 3), so software speed is not critical —
+ * correctness and freedom from external dependencies are.
+ */
+
+#ifndef PSORAM_CRYPTO_AES128_HH
+#define PSORAM_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace psoram {
+
+class Aes128
+{
+  public:
+    static constexpr std::size_t kBlockBytes = 16;
+    static constexpr std::size_t kKeyBytes = 16;
+    static constexpr int kRounds = 10;
+
+    using Block = std::array<std::uint8_t, kBlockBytes>;
+    using Key = std::array<std::uint8_t, kKeyBytes>;
+
+    /** Expand @p key into the round-key schedule. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(Block &block) const;
+
+    /** Encrypt @p in into @p out (may alias). */
+    Block encrypt(const Block &in) const;
+
+  private:
+    // 11 round keys of 16 bytes each.
+    std::array<std::uint8_t, kBlockBytes * (kRounds + 1)> roundKeys_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_CRYPTO_AES128_HH

@@ -1,0 +1,32 @@
+#include "crypto/ctr.hh"
+
+#include <cstring>
+
+namespace psoram {
+
+CtrCipher::CtrCipher(const Aes128::Key &key) : aes_(key)
+{
+}
+
+void
+CtrCipher::apply(std::uint64_t iv, std::uint8_t *data, std::size_t len) const
+{
+    std::uint64_t counter = 0;
+    std::size_t off = 0;
+    while (off < len) {
+        Aes128::Block ctr_block{};
+        std::memcpy(ctr_block.data(), &iv, sizeof(iv));
+        std::memcpy(ctr_block.data() + sizeof(iv), &counter,
+                    sizeof(counter));
+        aes_.encryptBlock(ctr_block);
+
+        const std::size_t chunk =
+            std::min(len - off, Aes128::kBlockBytes);
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[off + i] ^= ctr_block[i];
+        off += chunk;
+        ++counter;
+    }
+}
+
+} // namespace psoram

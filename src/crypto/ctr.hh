@@ -1,0 +1,53 @@
+/**
+ * @file
+ * AES-128 counter-mode encryption for ORAM blocks.
+ *
+ * Following Fletcher et al. (the paper's [20]), each ORAM block carries two
+ * initialization vectors: IV1 encrypts the block header (program address +
+ * path id) and IV2 encrypts the 64-byte data payload. Re-encrypting a block
+ * on eviction bumps the IVs, so identical plaintexts never produce
+ * identical ciphertexts on the memory bus.
+ */
+
+#ifndef PSORAM_CRYPTO_CTR_HH
+#define PSORAM_CRYPTO_CTR_HH
+
+#include <cstdint>
+#include <cstddef>
+
+#include "crypto/aes128.hh"
+
+namespace psoram {
+
+/**
+ * Stateless CTR-mode encryptor bound to one AES key.
+ *
+ * The keystream for (iv, i) is AES_K(iv || i); XORing is its own inverse,
+ * so encrypt() and decrypt() are the same operation.
+ */
+class CtrCipher
+{
+  public:
+    explicit CtrCipher(const Aes128::Key &key);
+
+    /**
+     * XOR @p len bytes of @p data with the keystream derived from @p iv.
+     * @param iv per-use initialization vector (must not repeat per key)
+     */
+    void apply(std::uint64_t iv, std::uint8_t *data, std::size_t len) const;
+
+    /** Convenience overload for std::array / C-array payloads. */
+    template <std::size_t N>
+    void
+    apply(std::uint64_t iv, std::uint8_t (&data)[N]) const
+    {
+        apply(iv, data, N);
+    }
+
+  private:
+    Aes128 aes_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_CRYPTO_CTR_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Drain energy/time model for crash handling (paper §4.2.4, Tables 1-2).
+ *
+ * On a power failure the persistence domain must drain to the NVM. The
+ * paper compares three designs:
+ *
+ *  - eADR-ORAM: the whole cache hierarchy + stash + PosMap is inside the
+ *    persistence domain and must drain (193.07 MB at the Table 3
+ *    configuration).
+ *  - eADR-cache: eADR pays only for the caches + stash, without ORAM
+ *    protocol persistence (not crash consistent for ORAM).
+ *  - PS-ORAM: only the two WPQs drain (96- or 4-entry configurations).
+ *
+ * Costs follow the BBB (HPCA'21) model the paper cites: reading a byte
+ * out of SRAM costs ~1 pJ and moving it to the NVM costs ~11.2 nJ/byte
+ * from L2/stash/PosMap/WPQ (11.839 nJ/byte from L1D). Draining time uses
+ * the effective NVM write bandwidth implied by those numbers.
+ */
+
+#ifndef PSORAM_ENERGY_DRAIN_MODEL_HH
+#define PSORAM_ENERGY_DRAIN_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psoram {
+
+/** Table 1: energy constants. */
+struct DrainCostParams
+{
+    /** Accessing data from SRAM [J/byte]. */
+    double sram_access_j_per_byte = 1e-12;
+    /** Moving data from L1D to NVM [J/byte]. */
+    double l1_to_nvm_j_per_byte = 11.839e-9;
+    /** Moving data from L2 / stash / PosMap / WPQs to NVM [J/byte]. */
+    double l2_to_nvm_j_per_byte = 11.228e-9;
+    /** Effective drain bandwidth implied by the paper's timings
+     *  [bytes/s]: 193.07 MB in 4.817 ms. */
+    double drain_bytes_per_second = 42.0e9;
+};
+
+/** What a design has to drain when power fails. */
+struct DrainInventory
+{
+    std::string name;
+    std::uint64_t l1_bytes = 0;
+    /** L2 + stash + PosMap + WPQ bytes (all share the same cost). */
+    std::uint64_t l2_class_bytes = 0;
+};
+
+struct DrainCost
+{
+    double energy_joules = 0.0;
+    double time_seconds = 0.0;
+};
+
+class DrainModel
+{
+  public:
+    explicit DrainModel(const DrainCostParams &params = {});
+
+    DrainCost cost(const DrainInventory &inventory) const;
+
+    const DrainCostParams &params() const { return params_; }
+
+    /** @{ The paper's Table 3 inventories. */
+    static DrainInventory eadrOram();
+    static DrainInventory eadrCache();
+    static DrainInventory psOramWpq(std::size_t wpq_entries);
+    /** @} */
+
+  private:
+    DrainCostParams params_;
+};
+
+/** Pretty formatting helpers for Table 2 ("76.530uJ", "4.817ms"). */
+std::string formatEnergy(double joules);
+std::string formatTime(double seconds);
+
+} // namespace psoram
+
+#endif // PSORAM_ENERGY_DRAIN_MODEL_HH

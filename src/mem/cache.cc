@@ -1,0 +1,90 @@
+#include "mem/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace psoram {
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    if (params_.associativity == 0 || params_.line_bytes == 0)
+        PSORAM_FATAL("cache '", params_.name, "': bad geometry");
+    const std::uint64_t num_lines =
+        params_.size_bytes / params_.line_bytes;
+    if (num_lines == 0 || num_lines % params_.associativity != 0)
+        PSORAM_FATAL("cache '", params_.name,
+                     "': size must be a multiple of assoc * line");
+    num_sets_ = num_lines / params_.associativity;
+    if (!isPowerOfTwo(num_sets_))
+        PSORAM_FATAL("cache '", params_.name,
+                     "': set count must be a power of two");
+    lines_.resize(num_lines);
+}
+
+std::size_t
+Cache::setIndex(BlockAddr line) const
+{
+    return static_cast<std::size_t>(line & (num_sets_ - 1));
+}
+
+CacheAccessResult
+Cache::access(BlockAddr line, bool is_write)
+{
+    Line *set = &lines_[setIndex(line) * params_.associativity];
+    ++lru_clock_;
+
+    Line *victim = &set[0];
+    for (unsigned way = 0; way < params_.associativity; ++way) {
+        Line &entry = set[way];
+        if (entry.valid && entry.tag == line) {
+            entry.lru = lru_clock_;
+            entry.dirty |= is_write;
+            ++hits_;
+            return CacheAccessResult{true, std::nullopt};
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    std::optional<BlockAddr> writeback;
+    if (victim->valid && victim->dirty) {
+        writeback = victim->tag;
+        ++writebacks_;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = lru_clock_;
+    return CacheAccessResult{false, writeback};
+}
+
+bool
+Cache::probe(BlockAddr line) const
+{
+    const Line *set = &lines_[setIndex(line) * params_.associativity];
+    for (unsigned way = 0; way < params_.associativity; ++way)
+        if (set[way].valid && set[way].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &entry : lines_)
+        entry = Line{};
+}
+
+void
+Cache::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+    writebacks_.reset();
+}
+
+} // namespace psoram

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Classic set-associative write-back, write-allocate cache model.
+ *
+ * Functional contents are not tracked (the ORAM layer owns data); the
+ * cache model only decides hit/miss and produces dirty victims, which is
+ * all the MPKI-driven evaluation needs.
+ */
+
+#ifndef PSORAM_MEM_CACHE_HH
+#define PSORAM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace psoram {
+
+struct CacheParams
+{
+    std::string name;
+    std::uint64_t size_bytes;
+    unsigned associativity;
+    unsigned line_bytes = 64;
+    /** Access latency in CPU cycles (Table 3a: L1 = 2, L2 = 20). */
+    CpuCycle latency = 1;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit;
+    /** Set when a dirty line was evicted to make room. */
+    std::optional<BlockAddr> writeback_line;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access one line (LRU replacement, write-allocate).
+     * @param line cache-line address (byte address / line size)
+     */
+    CacheAccessResult access(BlockAddr line, bool is_write);
+
+    /** True if the line is currently resident (no state change). */
+    bool probe(BlockAddr line) const;
+
+    /** Invalidate everything (used by crash modeling). */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        BlockAddr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setIndex(BlockAddr line) const;
+
+    CacheParams params_;
+    std::size_t num_sets_;
+    std::vector<Line> lines_; // num_sets_ * associativity, set-major
+    std::uint64_t lru_clock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+    Counter writebacks_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_MEM_CACHE_HH

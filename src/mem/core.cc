@@ -1,0 +1,30 @@
+#include "mem/core.hh"
+
+namespace psoram {
+
+InOrderCore::InOrderCore(CacheHierarchy &hierarchy)
+    : hierarchy_(hierarchy)
+{
+}
+
+CoreRunStats
+InOrderCore::run(TraceStream &trace, const MemRequestHandler &memory)
+{
+    CoreRunStats stats;
+    const std::uint64_t misses_before = hierarchy_.llcMisses();
+
+    TraceRecord record;
+    while (trace.next(record)) {
+        // One cycle per retired instruction, then block on the access.
+        stats.instructions += record.gap;
+        stats.cycles += record.gap;
+        stats.cycles += hierarchy_.access(record.line, record.is_write,
+                                          memory);
+        ++stats.mem_accesses;
+    }
+
+    stats.llc_misses = hierarchy_.llcMisses() - misses_before;
+    return stats;
+}
+
+} // namespace psoram

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-order core timing model (gem5 "in-order core at 3.2 GHz" stand-in).
+ *
+ * The core retires one instruction per cycle and blocks on every data
+ * access until the hierarchy (and, on LLC misses, the ORAM-protected
+ * memory) returns. The paper notes that in-order vs out-of-order does not
+ * change the memory-system conclusions, and this model preserves exactly
+ * the quantity the figures report: execution time as a function of memory
+ * latency and traffic.
+ */
+
+#ifndef PSORAM_MEM_CORE_HH
+#define PSORAM_MEM_CORE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "mem/hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace psoram {
+
+/** Aggregate outcome of running a trace on the core. */
+struct CoreRunStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_accesses = 0;
+    CpuCycle cycles = 0;
+    std::uint64_t llc_misses = 0;
+
+    /** Misses per kilo-instruction — Table 4's metric. */
+    double mpki() const
+    {
+        return instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(llc_misses) /
+                  static_cast<double>(instructions);
+    }
+
+    double ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions) /
+                  static_cast<double>(cycles);
+    }
+};
+
+class InOrderCore
+{
+  public:
+    explicit InOrderCore(CacheHierarchy &hierarchy);
+
+    /**
+     * Run @p trace to completion, sending LLC misses to @p memory.
+     * @return run statistics (cycles, MPKI, ...)
+     */
+    CoreRunStats run(TraceStream &trace, const MemRequestHandler &memory);
+
+  private:
+    CacheHierarchy &hierarchy_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_MEM_CORE_HH

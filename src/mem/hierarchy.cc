@@ -1,0 +1,52 @@
+#include "mem/hierarchy.hh"
+
+namespace psoram {
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
+    : l1d_(params.l1d), l2_(params.l2)
+{
+}
+
+CpuCycle
+CacheHierarchy::access(BlockAddr line, bool is_write,
+                       const MemRequestHandler &memory)
+{
+    CpuCycle latency = l1d_.params().latency;
+    const CacheAccessResult l1 = l1d_.access(line, is_write);
+    if (l1.hit)
+        return latency;
+
+    // L1 victim writebacks are absorbed by the L2 (write-allocate); mark
+    // the line dirty there.
+    if (l1.writeback_line)
+        l2_.access(*l1.writeback_line, true);
+
+    latency += l2_.params().latency;
+    const CacheAccessResult l2 = l2_.access(line, is_write);
+    if (l2.hit)
+        return latency;
+
+    // L2 dirty victim becomes a main-memory (ORAM) write.
+    if (l2.writeback_line)
+        latency += memory(MemRequest{*l2.writeback_line, true});
+
+    // Fill the missing line from main memory.
+    latency += memory(MemRequest{line, false});
+    return latency;
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1d_.flush();
+    l2_.flush();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1d_.resetStats();
+    l2_.resetStats();
+}
+
+} // namespace psoram

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-level data-cache hierarchy (Table 3a): 32 KB 2-way L1D in front of
+ * a 1 MB 8-way shared L2. An L2 miss (or an L2 dirty eviction) becomes a
+ * main-memory request, which the ORAM frontend services.
+ */
+
+#ifndef PSORAM_MEM_HIERARCHY_HH
+#define PSORAM_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+
+#include "mem/cache.hh"
+
+namespace psoram {
+
+/** A request leaving the LLC toward main memory. */
+struct MemRequest
+{
+    BlockAddr line;
+    bool is_write;
+};
+
+/**
+ * Callback the hierarchy invokes for each memory request.
+ * @return request latency in CPU cycles
+ */
+using MemRequestHandler = std::function<CpuCycle(const MemRequest &)>;
+
+struct HierarchyParams
+{
+    CacheParams l1d{"l1d", 32 * 1024, 2, 64, 2};
+    CacheParams l2{"l2", 1024 * 1024, 8, 64, 20};
+};
+
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &params = {});
+
+    /**
+     * Access one data line through L1D then L2.
+     * @return latency in CPU cycles, including memory for L2 misses
+     */
+    CpuCycle access(BlockAddr line, bool is_write,
+                    const MemRequestHandler &memory);
+
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+    /** L2 (LLC) misses — the MPKI numerator of Table 4. */
+    std::uint64_t llcMisses() const { return l2_.misses(); }
+
+    /** Drop all cached state (crash modeling: caches are volatile). */
+    void flush();
+
+    void resetStats();
+
+  private:
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_MEM_HIERARCHY_HH

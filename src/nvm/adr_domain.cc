@@ -1,0 +1,44 @@
+#include "nvm/adr_domain.hh"
+
+#include <algorithm>
+
+namespace psoram {
+
+AdrDomain::AdrDomain(std::size_t data_capacity, std::size_t posmap_capacity)
+    : data_wpq_("data_wpq", data_capacity),
+      posmap_wpq_("posmap_wpq", posmap_capacity)
+{
+}
+
+void
+AdrDomain::start()
+{
+    data_wpq_.start();
+    posmap_wpq_.start();
+}
+
+void
+AdrDomain::end()
+{
+    bytes_persisted_ += data_wpq_.queuedBytes() +
+                        posmap_wpq_.queuedBytes();
+    data_wpq_.end();
+    posmap_wpq_.end();
+}
+
+Cycle
+AdrDomain::drain(NvmDevice &device, Cycle earliest)
+{
+    // In-order persistence without coalescing (§4.2.3): the metadata
+    // entries drain strictly after the data blocks of their round.
+    const Cycle data_done = data_wpq_.drainTo(device, earliest);
+    return posmap_wpq_.drainTo(device, data_done);
+}
+
+std::size_t
+AdrDomain::crashFlush(NvmDevice &device)
+{
+    return data_wpq_.crashFlush(device) + posmap_wpq_.crashFlush(device);
+}
+
+} // namespace psoram

@@ -1,0 +1,160 @@
+#include "nvm/device.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace psoram {
+
+NvmDevice::NvmDevice(const NvmTimingParams &params, unsigned num_channels,
+                     unsigned banks_per_channel,
+                     std::uint64_t capacity_bytes)
+    : params_(params), capacity_(capacity_bytes)
+{
+    if (num_channels == 0)
+        PSORAM_FATAL("device needs at least one channel");
+    channels_.reserve(num_channels);
+    for (unsigned i = 0; i < num_channels; ++i)
+        channels_.emplace_back(params, banks_per_channel);
+}
+
+void
+NvmDevice::decode(Addr line_addr, unsigned &channel, unsigned &bank) const
+{
+    // Row-granular (4 KiB) channel interleaving with line-granular bank
+    // interleaving inside a channel. Coarse channel interleaving is
+    // what commodity controllers do, and it reproduces the paper's
+    // observation that "it is hard to allocate the memory accesses to
+    // each channel equally" (§5.2.3): a path's buckets do not spread
+    // perfectly, so channel scaling saturates beyond two channels.
+    constexpr Addr kLinesPerRow = 64; // 4 KiB rows
+    channel = static_cast<unsigned>((line_addr / kLinesPerRow) %
+                                    channels_.size());
+    bank = static_cast<unsigned>(line_addr %
+                                 channels_[channel].numBanks());
+}
+
+void
+NvmDevice::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    if (addr + len > capacity_)
+        PSORAM_PANIC("NVM read past capacity: addr=", addr, " len=", len);
+    std::size_t off = 0;
+    while (off < len) {
+        const Addr cur = addr + off;
+        const Addr line = cur / kBlockDataBytes;
+        const std::size_t in_line = cur % kBlockDataBytes;
+        const std::size_t chunk =
+            std::min(len - off, kBlockDataBytes - in_line);
+        const auto it = store_.find(line);
+        if (it == store_.end())
+            std::memset(out + off, 0, chunk);
+        else
+            std::memcpy(out + off, it->second.data() + in_line, chunk);
+        off += chunk;
+    }
+}
+
+void
+NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
+{
+    if (addr + len > capacity_)
+        PSORAM_PANIC("NVM write past capacity: addr=", addr, " len=", len);
+    std::size_t off = 0;
+    while (off < len) {
+        const Addr cur = addr + off;
+        const Addr line = cur / kBlockDataBytes;
+        const std::size_t in_line = cur % kBlockDataBytes;
+        const std::size_t chunk =
+            std::min(len - off, kBlockDataBytes - in_line);
+        auto &cell = store_[line]; // zero-initialized on first touch
+        std::memcpy(cell.data() + in_line, in + off, chunk);
+
+        const auto writes = ++wear_[line];
+        max_line_writes_ = std::max<std::uint64_t>(max_line_writes_,
+                                                   writes);
+        off += chunk;
+    }
+}
+
+Cycle
+NvmDevice::access(Addr addr, std::size_t len, bool is_write, Cycle earliest)
+{
+    const Addr first_line = addr / kBlockDataBytes;
+    const Addr last_line = (addr + len - 1) / kBlockDataBytes;
+    Cycle done = earliest;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        unsigned channel, bank;
+        decode(line, channel, bank);
+        done = std::max(done,
+                        channels_[channel].access(bank, earliest,
+                                                  is_write));
+    }
+    return done;
+}
+
+Cycle
+NvmDevice::accessOne(Addr addr, bool is_write, Cycle earliest)
+{
+    unsigned channel, bank;
+    decode(addr / kBlockDataBytes, channel, bank);
+    return channels_[channel].access(bank, earliest, is_write);
+}
+
+Cycle
+NvmDevice::readTimed(Addr addr, std::uint8_t *out, std::size_t len,
+                     Cycle earliest)
+{
+    readBytes(addr, out, len);
+    return access(addr, len, false, earliest);
+}
+
+Cycle
+NvmDevice::writeTimed(Addr addr, const std::uint8_t *in, std::size_t len,
+                      Cycle earliest)
+{
+    writeBytes(addr, in, len);
+    return access(addr, len, true, earliest);
+}
+
+std::uint64_t
+NvmDevice::totalReads() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.readCount();
+    return total;
+}
+
+std::uint64_t
+NvmDevice::totalWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.writeCount();
+    return total;
+}
+
+double
+NvmDevice::meanLineWrites() const
+{
+    if (wear_.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    for (const auto &[line, count] : wear_)
+        total += count;
+    return static_cast<double>(total) / static_cast<double>(wear_.size());
+}
+
+void
+NvmDevice::resetStats()
+{
+    for (auto &channel : channels_)
+        channel.resetStats();
+    wear_.clear();
+    max_line_writes_ = 0;
+}
+
+} // namespace psoram

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * NVM main-memory device: functional byte store + channel/bank timing.
+ *
+ * The device plays the role NVMain 2.0 plays for the paper: it holds the
+ * persistent contents of the ORAM tree and PosMap region, schedules
+ * accesses through per-channel bank models, and counts read/write traffic
+ * and per-line wear (NVM lifetime).
+ *
+ * The functional store is sparse (64-byte lines in a hash map); lines that
+ * were never written read as zero.
+ */
+
+#ifndef PSORAM_NVM_DEVICE_HH
+#define PSORAM_NVM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/channel.hh"
+#include "nvm/timing.hh"
+
+namespace psoram {
+
+/** One 64-byte NVM line. */
+using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
+
+class NvmDevice
+{
+  public:
+    /**
+     * @param params device timing preset (PCM or STT-RAM)
+     * @param num_channels independent channels (Fig. 7 sweeps 1/2/4)
+     * @param banks_per_channel banks sharing each channel bus
+     * @param capacity_bytes addressable capacity (bounds checking only)
+     */
+    NvmDevice(const NvmTimingParams &params, unsigned num_channels,
+              unsigned banks_per_channel, std::uint64_t capacity_bytes);
+
+    /** @{ Functional access (no timing). Reads of unwritten lines are 0. */
+    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
+    void writeBytes(Addr addr, const std::uint8_t *in, std::size_t len);
+    /** @} */
+
+    /**
+     * Timing-only access: schedule @p len bytes starting at @p addr as
+     * 64-byte line transfers across the channels.
+     *
+     * @param earliest cycle the request arrives at the memory controller
+     * @return completion cycle of the last line transfer
+     */
+    Cycle access(Addr addr, std::size_t len, bool is_write, Cycle earliest);
+
+    /**
+     * Timing-only access of exactly one transaction (one burst) at the
+     * line containing @p addr. ORAM block slots are a little larger than
+     * a cache line (data + header + IV); the paper counts each block as
+     * one read/write, which this models.
+     */
+    Cycle accessOne(Addr addr, bool is_write, Cycle earliest);
+
+    /** Functional + timing in one call. */
+    Cycle readTimed(Addr addr, std::uint8_t *out, std::size_t len,
+                    Cycle earliest);
+    Cycle writeTimed(Addr addr, const std::uint8_t *in, std::size_t len,
+                     Cycle earliest);
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+    std::uint64_t capacity() const { return capacity_; }
+    const NvmTimingParams &timings() const { return params_; }
+
+    /** @{ Aggregate traffic statistics across all channels. */
+    std::uint64_t totalReads() const;
+    std::uint64_t totalWrites() const;
+    /** @} */
+
+    /** @{ Wear statistics (NVM lifetime proxy). */
+    std::uint64_t distinctLinesWritten() const { return wear_.size(); }
+    std::uint64_t maxLineWrites() const { return max_line_writes_; }
+    double meanLineWrites() const;
+    /** @} */
+
+    void resetStats();
+
+    /**
+     * Snapshot / restore of the functional contents; the crash-injection
+     * framework uses this to model "persistent state survives, volatile
+     * state is lost".
+     */
+    using Image = std::unordered_map<Addr, NvmLine>;
+    const Image &image() const { return store_; }
+    void restoreImage(const Image &img) { store_ = img; }
+
+  private:
+    /** Decode a line address into (channel, bank). */
+    void decode(Addr line_addr, unsigned &channel, unsigned &bank) const;
+
+    NvmTimingParams params_;
+    std::uint64_t capacity_;
+    std::vector<Channel> channels_;
+    Image store_;
+
+    std::unordered_map<Addr, std::uint32_t> wear_;
+    std::uint64_t max_line_writes_ = 0;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_DEVICE_HH

@@ -1,0 +1,38 @@
+#include "nvm/timing.hh"
+
+#include "common/log.hh"
+
+namespace psoram {
+
+std::string
+nvmTechName(NvmTech tech)
+{
+    switch (tech) {
+      case NvmTech::PCM:
+        return "PCM";
+      case NvmTech::STTRAM:
+        return "STTRAM";
+    }
+    PSORAM_PANIC("unknown NvmTech");
+}
+
+NvmTimingParams
+pcmTimings()
+{
+    // 64B over an 8-byte DDR bus: 8 beats = 4 clock edges pairs -> 4 cycles.
+    return NvmTimingParams{48, 60, 4, 3, 1, 2, 4, 400};
+}
+
+NvmTimingParams
+sttramTimings()
+{
+    return NvmTimingParams{14, 14, 10, 5, 1, 2, 4, 400};
+}
+
+NvmTimingParams
+timingsFor(NvmTech tech)
+{
+    return tech == NvmTech::PCM ? pcmTimings() : sttramTimings();
+}
+
+} // namespace psoram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NVM device timing parameters (NVMain-2.0 style).
+ *
+ * All values are in NVM controller clock cycles at 400 MHz, matching
+ * Table 3(c) of the paper:
+ *   PCM    : tRCD/tWP/tCWD/tWTR/tRP/tCCD = 48/60/4/3/1/2
+ *   STT-RAM: tRCD/tWP/tCWD/tWTR/tRP/tCCD = 14/14/10/5/1/2
+ */
+
+#ifndef PSORAM_NVM_TIMING_HH
+#define PSORAM_NVM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace psoram {
+
+/** Memory technology selector. */
+enum class NvmTech { PCM, STTRAM };
+
+/** Returns "PCM" / "STTRAM". */
+std::string nvmTechName(NvmTech tech);
+
+struct NvmTimingParams
+{
+    /** Row activate to column command delay (array read latency). */
+    Cycle tRCD;
+    /** Write pulse: cell programming time, charged after data transfer. */
+    Cycle tWP;
+    /** Column write delay: command to first data beat. */
+    Cycle tCWD;
+    /** Write-to-read turnaround on the same bank. */
+    Cycle tWTR;
+    /** Precharge (row close). */
+    Cycle tRP;
+    /** Column-to-column delay between bursts. */
+    Cycle tCCD;
+    /** Data-bus occupancy of one 64-byte burst. */
+    Cycle tBURST;
+    /** Controller/bus clock in MHz. */
+    std::uint32_t clockMHz;
+
+    /** Read latency from command issue to last data beat. */
+    Cycle readLatency() const { return tRCD + tBURST; }
+    /** Write occupancy of the bank from command issue to cell-stable. */
+    Cycle writeOccupancy() const { return tCWD + tBURST + tWP; }
+};
+
+/** PCM timing preset (Table 3c). */
+NvmTimingParams pcmTimings();
+
+/** STT-RAM timing preset (Table 3c). */
+NvmTimingParams sttramTimings();
+
+/** Preset lookup by technology. */
+NvmTimingParams timingsFor(NvmTech tech);
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_TIMING_HH

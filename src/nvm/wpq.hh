@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Write Pending Queue (WPQ) inside the ADR persistence domain.
+ *
+ * PS-ORAM brackets each eviction round with a "start" signal (the WPQ
+ * begins accepting entries) and an "end" signal (the round commits). On a
+ * power failure, ADR guarantees that *committed* entries reach the NVM;
+ * entries of a round that never saw its "end" signal are discarded, so the
+ * original data in the NVM is never partially overwritten (paper §4.2.2,
+ * step 5-B/5-C).
+ */
+
+#ifndef PSORAM_NVM_WPQ_HH
+#define PSORAM_NVM_WPQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/device.hh"
+
+namespace psoram {
+
+/** One pending persistent write (an evicted block or a PosMap entry). */
+struct WpqEntry
+{
+    Addr addr;
+    std::vector<std::uint8_t> data;
+};
+
+class Wpq
+{
+  public:
+    /**
+     * @param name stat prefix ("data_wpq" / "posmap_wpq")
+     * @param capacity maximum entries per round (96 or 4 in the paper)
+     */
+    Wpq(std::string name, std::size_t capacity);
+
+    /** Open a new round ("start" signal). @pre queue drained and closed */
+    void start();
+
+    /**
+     * Push an entry into the open round.
+     * @return false if the round is full (caller must split rounds)
+     */
+    bool push(WpqEntry entry);
+
+    /** Commit the round ("end" signal): entries become crash-durable. */
+    void end();
+
+    /**
+     * Flush all committed entries to the device: functional writes plus
+     * timing. Leaves the queue empty and closed.
+     *
+     * @return completion cycle of the last write
+     */
+    Cycle drainTo(NvmDevice &device, Cycle earliest);
+
+    /**
+     * Power-failure semantics: committed entries are functionally written
+     * (ADR flush); an uncommitted round is discarded.
+     *
+     * @return number of entries that reached the NVM
+     */
+    std::size_t crashFlush(NvmDevice &device);
+
+    bool open() const { return open_; }
+    bool committed() const { return committed_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Total payload bytes currently queued (drain energy accounting). */
+    std::size_t queuedBytes() const;
+
+    std::uint64_t totalPushed() const { return pushed_.value(); }
+    std::uint64_t totalDrained() const { return drained_.value(); }
+    std::uint64_t totalRounds() const { return rounds_.value(); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::size_t capacity_;
+    std::deque<WpqEntry> entries_;
+    bool open_ = false;
+    bool committed_ = false;
+
+    Counter pushed_;
+    Counter drained_;
+    Counter rounds_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_WPQ_HH

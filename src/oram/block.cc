@@ -1,0 +1,118 @@
+#include "oram/block.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "crypto/ctr.hh"
+
+namespace psoram {
+
+namespace {
+
+// Tweaks keep header and data keystreams disjoint under one IV counter.
+constexpr std::uint64_t kHeaderTweak = 0x4845414445520000ULL; // "HEADER"
+constexpr std::uint64_t kDataTweak = 0x44415441424c4bULL;     // "DATABLK"
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+BlockCodec::BlockCodec(const Aes128::Key &key, CipherKind kind)
+    : kind_(kind)
+{
+    if (kind_ == CipherKind::Aes128Ctr) {
+        ctr_ = std::make_unique<CtrCipher>(key);
+    } else {
+        std::uint64_t folded = 0x243f6a8885a308d3ULL;
+        for (std::size_t i = 0; i < key.size(); ++i)
+            folded = mix64(folded ^ (std::uint64_t{key[i]} << (8 * (i % 8))));
+        fast_key_ = folded;
+    }
+}
+
+BlockCodec::~BlockCodec() = default;
+
+void
+BlockCodec::applyStream(std::uint64_t iv, std::uint8_t *data,
+                        std::size_t len) const
+{
+    if (kind_ == CipherKind::Aes128Ctr) {
+        ctr_->apply(iv, data, len);
+        return;
+    }
+    // Fast keyed stream: one mix64 per 8-byte lane. XOR is its own
+    // inverse, mirroring CTR semantics.
+    std::size_t off = 0;
+    std::uint64_t counter = 0;
+    while (off < len) {
+        const std::uint64_t word = mix64(fast_key_ ^ iv ^ (counter *
+                                         0x9e3779b97f4a7c15ULL));
+        const std::size_t chunk = std::min<std::size_t>(8, len - off);
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[off + i] ^= static_cast<std::uint8_t>(word >> (8 * i));
+        off += chunk;
+        ++counter;
+    }
+}
+
+SlotBytes
+BlockCodec::encode(const PlainBlock &block)
+{
+    SlotBytes slot{};
+    const std::uint64_t iv1 = next_iv_++;
+    const std::uint32_t iv2 = static_cast<std::uint32_t>(mix64(iv1));
+
+    std::memcpy(slot.data(), &iv1, 8);
+
+    std::uint8_t header[16];
+    std::memcpy(header, &block.addr, 8);
+    std::memcpy(header + 8, &block.path, 4);
+    std::memcpy(header + 12, &block.epoch, 4);
+    applyStream(iv1 ^ kHeaderTweak, header, sizeof(header));
+    std::memcpy(slot.data() + 8, header, sizeof(header));
+
+    std::uint8_t payload[kBlockDataBytes];
+    std::memcpy(payload, block.data.data(), kBlockDataBytes);
+    applyStream((iv1 ^ kDataTweak) + iv2, payload, kBlockDataBytes);
+    std::memcpy(slot.data() + 24, payload, kBlockDataBytes);
+
+    return slot;
+}
+
+PlainBlock
+BlockCodec::decode(const SlotBytes &slot) const
+{
+    PlainBlock block;
+
+    std::uint64_t iv1 = 0;
+    std::memcpy(&iv1, slot.data(), 8);
+    if (iv1 == 0) {
+        // Never-written slot: lazily materialized tree storage reads as
+        // zero; that is by construction a dummy block.
+        return PlainBlock::dummy();
+    }
+
+    std::uint8_t header[16];
+    std::memcpy(header, slot.data() + 8, sizeof(header));
+    applyStream(iv1 ^ kHeaderTweak, header, sizeof(header));
+    std::memcpy(&block.addr, header, 8);
+    std::memcpy(&block.path, header + 8, 4);
+    std::memcpy(&block.epoch, header + 12, 4);
+    const std::uint32_t iv2 = static_cast<std::uint32_t>(mix64(iv1));
+
+    std::memcpy(block.data.data(), slot.data() + 24, kBlockDataBytes);
+    applyStream((iv1 ^ kDataTweak) + iv2, block.data.data(),
+                kBlockDataBytes);
+    return block;
+}
+
+} // namespace psoram

@@ -1,0 +1,119 @@
+#include "oram/posmap.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+PathId
+initialPath(std::uint64_t seed, BlockAddr addr, std::uint64_t num_leaves)
+{
+    // SplitMix64-style PRF; statistical uniformity is all the simulator
+    // needs (hardware would use a CSPRNG-filled table).
+    std::uint64_t x = seed ^ (addr * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<PathId>(x % num_leaves);
+}
+
+PosMap::PosMap(std::uint64_t num_blocks, std::uint64_t num_leaves,
+               std::uint64_t seed)
+    : num_blocks_(num_blocks), num_leaves_(num_leaves), seed_(seed)
+{
+    if (num_blocks_ == 0 || num_leaves_ == 0)
+        PSORAM_FATAL("PosMap needs non-empty block and leaf spaces");
+}
+
+PathId
+PosMap::get(BlockAddr addr) const
+{
+    if (addr >= num_blocks_)
+        PSORAM_PANIC("PosMap address ", addr, " out of range");
+    const auto it = entries_.find(addr);
+    if (it != entries_.end())
+        return it->second;
+    return initialPath(seed_, addr, num_leaves_);
+}
+
+void
+PosMap::set(BlockAddr addr, PathId path)
+{
+    if (addr >= num_blocks_)
+        PSORAM_PANIC("PosMap address ", addr, " out of range");
+    entries_[addr] = path;
+}
+
+void
+PosMap::clear()
+{
+    entries_.clear();
+}
+
+PersistentPosMap::PersistentPosMap(Addr base, std::uint64_t num_blocks,
+                                   std::uint64_t seed,
+                                   std::uint64_t num_leaves)
+    : base_(base), num_blocks_(num_blocks), seed_(seed),
+      num_leaves_(num_leaves)
+{
+}
+
+Addr
+PersistentPosMap::entryAddr(BlockAddr addr) const
+{
+    if (addr >= num_blocks_)
+        PSORAM_PANIC("persistent PosMap address ", addr, " out of range");
+    return base_ + addr * kEntryBytes;
+}
+
+std::uint32_t
+PersistentPosMap::encodeEntry(PathId path)
+{
+    if (path & kValidBit)
+        PSORAM_PANIC("path id ", path, " collides with the valid bit");
+    return static_cast<std::uint32_t>(path) | kValidBit;
+}
+
+std::array<std::uint8_t, PersistentPosMap::kEntryBytes>
+PersistentPosMap::encodeRecord(PathId path, std::uint32_t epoch)
+{
+    std::array<std::uint8_t, kEntryBytes> record{};
+    const std::uint32_t word = encodeEntry(path);
+    std::memcpy(record.data(), &word, sizeof(word));
+    std::memcpy(record.data() + 4, &epoch, sizeof(epoch));
+    return record;
+}
+
+PersistentPosMap::Entry
+PersistentPosMap::readFullEntry(const NvmDevice &device,
+                                BlockAddr addr) const
+{
+    std::uint8_t raw[kEntryBytes] = {};
+    device.readBytes(entryAddr(addr), raw, kEntryBytes);
+    std::uint32_t word = 0, epoch = 0;
+    std::memcpy(&word, raw, sizeof(word));
+    std::memcpy(&epoch, raw + 4, sizeof(epoch));
+    if (word & kValidBit)
+        return Entry{static_cast<PathId>(word & ~kValidBit), epoch};
+    return Entry{initialPath(seed_, addr, num_leaves_), 0};
+}
+
+PathId
+PersistentPosMap::readEntry(const NvmDevice &device, BlockAddr addr) const
+{
+    return readFullEntry(device, addr).path;
+}
+
+void
+PersistentPosMap::writeEntry(NvmDevice &device, BlockAddr addr,
+                             PathId path, std::uint32_t epoch) const
+{
+    const auto record = encodeRecord(path, epoch);
+    device.writeBytes(entryAddr(addr), record.data(), record.size());
+}
+
+} // namespace psoram

@@ -1,0 +1,215 @@
+#include "oram/recursive_posmap.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+PosMapTreeLevel::PosMapTreeLevel(const Params &params, NvmDevice &device,
+                                 BlockCodec &codec, Rng &rng,
+                                 PosResolver missing_resolver)
+    : params_(params), device_(device), codec_(codec), rng_(rng),
+      geo_(params.layout.geometry), stash_(params.stash_capacity),
+      resolver_(std::move(missing_resolver))
+{
+    if (params_.num_entry_blocks > geo_.numSlots())
+        PSORAM_FATAL("PosMap tree too small for ",
+                     params_.num_entry_blocks, " entry blocks");
+}
+
+PathId
+PosMapTreeLevel::blockPosition(std::uint64_t block_index) const
+{
+    const auto it = positions_.find(block_index);
+    if (it != positions_.end())
+        return it->second;
+    return resolver_(block_index);
+}
+
+PosMapTreeLevel::EntryWords
+PosMapTreeLevel::unpack(const StashEntry &entry)
+{
+    EntryWords out;
+    std::memcpy(out.words.data(), entry.data.data(), kBlockDataBytes);
+    return out;
+}
+
+void
+PosMapTreeLevel::pack(StashEntry &entry, const EntryWords &words)
+{
+    std::memcpy(entry.data.data(), words.words.data(), kBlockDataBytes);
+}
+
+PosMapTreeLevel::AccessOutcome
+PosMapTreeLevel::accessEntry(std::uint64_t entry_index,
+                             std::uint32_t new_word,
+                             const ReadHook &read_hook)
+{
+    AccessOutcome outcome;
+    outcome.block_index = entry_index / kEntriesPerPosBlock;
+    const unsigned offset =
+        static_cast<unsigned>(entry_index % kEntriesPerPosBlock);
+    const std::uint64_t b = outcome.block_index;
+
+    StashEntry *entry = stash_.find(b);
+    if (entry) {
+        // Stash-resident entry block: update in place; no path access,
+        // no remap (the block is not in the tree, so its position is
+        // only consumed when it is eventually evicted).
+        ++stash_hits_;
+        outcome.stash_hit = true;
+        outcome.new_block_pos = entry->path;
+        EntryWords words = unpack(*entry);
+        outcome.old_word = words.words[offset];
+        words.words[offset] = new_word;
+        pack(*entry, words);
+        return outcome;
+    }
+
+    // Remap the entry block: its current path is consumed by this
+    // lookup.
+    const PathId old_pos = blockPosition(b);
+    const PathId new_pos = rng_.nextPath(geo_.numLeaves());
+    positions_[b] = new_pos;
+    dirty_positions_[b] = true;
+    outcome.new_block_pos = new_pos;
+
+    // Load the block's path. Track each loaded live block's slot so the
+    // eviction can rewrite it in place (identity placement).
+    struct LoadedSlot
+    {
+        unsigned level;
+        unsigned slot;
+        BlockAddr addr; // kDummyBlockAddr for dummy/free slots
+    };
+    std::vector<LoadedSlot> slots;
+    slots.reserve(geo_.blocksPerPath());
+
+    for (unsigned level = 0; level <= geo_.height; ++level) {
+        const BucketId bucket = geo_.bucketAt(old_pos, level);
+        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
+            const Addr slot_addr = params_.layout.slotAddr(bucket, s);
+            SlotBytes raw{};
+            device_.readBytes(slot_addr, raw.data(), kSlotBytes);
+            if (read_hook)
+                read_hook(slot_addr);
+            ++outcome.slots_read;
+            const PlainBlock block = codec_.decode(raw);
+            if (block.isDummy() || stash_.find(block.addr)) {
+                slots.push_back({level, s, kDummyBlockAddr});
+                continue;
+            }
+            StashEntry loaded;
+            loaded.addr = block.addr;
+            loaded.path = block.path;
+            loaded.data = block.data;
+            stash_.insert(loaded);
+            slots.push_back({level, s, block.addr});
+        }
+    }
+    outcome.accessed_leaf = old_pos;
+
+    // Materialize the target entry block if it was never written.
+    entry = stash_.find(b);
+    if (!entry) {
+        StashEntry fresh;
+        fresh.addr = b;
+        fresh.path = old_pos;
+        stash_.insert(fresh);
+        entry = stash_.find(b);
+    }
+    EntryWords words = unpack(*entry);
+    outcome.old_word = words.words[offset];
+    words.words[offset] = new_word;
+    pack(*entry, words);
+    entry->path = new_pos;
+
+    // Greedy eviction of path old_pos, leaf-first with deepest-eligible
+    // blocks preferred. The Rcr-PS-ORAM design commits the whole
+    // eviction (this path + the data path + the shadows) in a single
+    // atomic WPQ bracket, so intra-eviction write ordering carries no
+    // crash-consistency obligation here.
+    const unsigned levels = geo_.levels();
+    std::vector<std::vector<PlainBlock>> plan(levels);
+    for (unsigned level = 0; level < levels; ++level)
+        plan[level].assign(geo_.bucket_slots, PlainBlock::dummy());
+
+    for (int level = static_cast<int>(geo_.height); level >= 0;
+         --level) {
+        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
+            std::size_t best = stash_.size();
+            unsigned best_depth = 0;
+            for (std::size_t i = 0; i < stash_.size(); ++i) {
+                const unsigned common =
+                    geo_.commonLevel(stash_.at(i).path, old_pos);
+                if (common >= static_cast<unsigned>(level) &&
+                    (best == stash_.size() || common > best_depth)) {
+                    best = i;
+                    best_depth = common;
+                }
+            }
+            if (best == stash_.size())
+                break;
+            plan[level][s] = stash_.at(best).toBlock();
+            stash_.removeAt(best);
+        }
+    }
+    if (!stash_.empty())
+        unplaced_ += stash_.size();
+    (void)slots;
+
+    // Emit the full re-encrypted path.
+    outcome.writes.reserve(geo_.blocksPerPath());
+    for (unsigned level = 0; level < levels; ++level) {
+        const BucketId bucket = geo_.bucketAt(old_pos, level);
+        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
+            EvictWrite write;
+            write.addr = params_.layout.slotAddr(bucket, s);
+            write.data = codec_.encode(plan[level][s]);
+            outcome.writes.push_back(write);
+            if (!plan[level][s].isDummy())
+                outcome.placed.emplace_back(plan[level][s].addr,
+                                            plan[level][s].path);
+        }
+    }
+    return outcome;
+}
+
+bool
+PosMapTreeLevel::isPositionDirty(std::uint64_t block_index) const
+{
+    const auto it = dirty_positions_.find(block_index);
+    return it != dirty_positions_.end() && it->second;
+}
+
+void
+PosMapTreeLevel::markPositionDirty(std::uint64_t block_index)
+{
+    dirty_positions_[block_index] = true;
+}
+
+void
+PosMapTreeLevel::clearPositionDirty(std::uint64_t block_index)
+{
+    dirty_positions_.erase(block_index);
+}
+
+void
+PosMapTreeLevel::restoreStashEntry(const StashEntry &entry)
+{
+    stash_.insert(entry);
+    positions_[entry.addr] = entry.path;
+    markPositionDirty(entry.addr);
+}
+
+void
+PosMapTreeLevel::loseVolatileState()
+{
+    stash_.clear();
+    positions_.clear();
+    dirty_positions_.clear();
+}
+
+} // namespace psoram

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Recursive PosMap support: the position map stored in a PosMap ORAM
+ * tree in untrusted NVM (Freecursive-style, paper §4.4).
+ *
+ * The PosMap tree is a Path ORAM over *entry blocks*: 64-byte blocks
+ * packing 16 position entries of 4 bytes each. Every data access
+ * performs one full path access (read + evict) on this tree — the source
+ * of the recursive designs' ~+90 % read traffic (Fig. 6a). The positions
+ * of the entry blocks themselves terminate in an on-chip table (the
+ * paper's "on-chip PosMap [as] a cache for most recently used PosMap
+ * entries"); deeper NVM recursion levels would contribute only a few
+ * percent more traffic behind that cache and are absorbed into it (see
+ * DESIGN.md, fidelity notes).
+ *
+ * The level performs its own functional reads but *returns* its eviction
+ * writes: the recursive baseline writes them straight to the device,
+ * while Rcr-PS-ORAM routes them through the WPQ bracket so the PosMap
+ * path write commits atomically with the data path write.
+ */
+
+#ifndef PSORAM_ORAM_RECURSIVE_POSMAP_HH
+#define PSORAM_ORAM_RECURSIVE_POSMAP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/device.hh"
+#include "oram/block.hh"
+#include "oram/posmap.hh"
+#include "oram/stash.hh"
+#include "oram/tree.hh"
+
+namespace psoram {
+
+/** Position entries packed per 64-byte PosMap entry block. */
+inline constexpr unsigned kEntriesPerPosBlock = 16;
+
+/** Valid-tag for stored entry words (word 0 = never written -> PRF). */
+inline constexpr std::uint32_t kPosEntryValid = 0x8000'0000u;
+
+/**
+ * Resolves the position of an entry block that the on-chip table has no
+ * record of: the PRF initial position for a fresh system, or the
+ * persisted position region after crash recovery.
+ */
+using PosResolver = std::function<PathId(std::uint64_t block_index)>;
+
+class PosMapTreeLevel
+{
+  public:
+    struct Params
+    {
+        TreeLayout layout;
+        /** Number of entry blocks this level stores. */
+        std::uint64_t num_entry_blocks;
+        std::size_t stash_capacity = 64;
+        std::uint64_t seed = 1;
+    };
+
+    /** One eviction slot write the caller must route to the NVM. */
+    struct EvictWrite
+    {
+        Addr addr;
+        SlotBytes data;
+    };
+
+    /** Outcome of one entry access. */
+    struct AccessOutcome
+    {
+        /** Raw stored word before the update (0 => never written). */
+        std::uint32_t old_word = 0;
+        /** Index of the containing entry block. */
+        std::uint64_t block_index = 0;
+        /** Fresh position assigned to that entry block. */
+        PathId new_block_pos = kInvalidPath;
+        /** Path that was read and evicted (kInvalidPath on stash hit). */
+        PathId accessed_leaf = kInvalidPath;
+        /** Eviction writes, in WPQ push order (all overwrite-safe). */
+        std::vector<EvictWrite> writes;
+        /** Real entry blocks written to the tree: (index, position). */
+        std::vector<std::pair<std::uint64_t, PathId>> placed;
+        unsigned slots_read = 0;
+        bool stash_hit = false;
+    };
+
+    /** Timing notification for each slot read the level performs. */
+    using ReadHook = std::function<void(Addr)>;
+
+    PosMapTreeLevel(const Params &params, NvmDevice &device,
+                    BlockCodec &codec, Rng &rng,
+                    PosResolver missing_resolver);
+
+    /**
+     * Access entry @p entry_index: return the stored word and replace it
+     * with @p new_word. The containing entry block is loaded along its
+     * current path, remapped, and its path evicted with safe placement
+     * (identity / dummy-slot writes only).
+     */
+    AccessOutcome accessEntry(std::uint64_t entry_index,
+                              std::uint32_t new_word,
+                              const ReadHook &read_hook);
+
+    /** Current (volatile) position of entry block @p block_index. */
+    PathId blockPosition(std::uint64_t block_index) const;
+
+    /** @{ Dirty-position tracking: a block whose position changed since
+     *  its last persisted position entry (Rcr-PS-ORAM emits a position
+     *  region write when a dirty block is placed). */
+    bool isPositionDirty(std::uint64_t block_index) const;
+    void markPositionDirty(std::uint64_t block_index);
+    void clearPositionDirty(std::uint64_t block_index);
+    /** @} */
+
+    /** Recovery: restore a shadowed entry block into the stash. */
+    void restoreStashEntry(const StashEntry &entry);
+
+    /** Entry blocks currently in the level's stash (crash shadowing). */
+    const Stash &stash() const { return stash_; }
+    Stash &stash() { return stash_; }
+
+    /** Drop volatile state (crash). */
+    void loseVolatileState();
+
+    const Params &params() const { return params_; }
+    std::uint64_t unplacedEvents() const { return unplaced_.value(); }
+    std::uint64_t stashHits() const { return stash_hits_.value(); }
+
+  private:
+    struct EntryWords
+    {
+        std::array<std::uint32_t, kEntriesPerPosBlock> words;
+    };
+
+    static EntryWords unpack(const StashEntry &entry);
+    static void pack(StashEntry &entry, const EntryWords &words);
+
+    Params params_;
+    NvmDevice &device_;
+    BlockCodec &codec_;
+    Rng &rng_;
+    TreeGeometry geo_;
+    Stash stash_;
+    /** Volatile on-chip positions of entry blocks (lazy via resolver). */
+    std::unordered_map<std::uint64_t, PathId> positions_;
+    /** Blocks whose position is newer than its persisted entry. */
+    std::unordered_map<std::uint64_t, bool> dirty_positions_;
+    PosResolver resolver_;
+    Counter unplaced_;
+    Counter stash_hits_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_ORAM_RECURSIVE_POSMAP_HH

@@ -1,0 +1,101 @@
+#include "oram/stash.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+Stash::Stash(std::size_t capacity) : capacity_(capacity)
+{
+    entries_.reserve(capacity + 16);
+}
+
+StashEntry *
+Stash::find(BlockAddr addr)
+{
+    for (auto &entry : entries_)
+        if (!entry.is_backup && entry.addr == addr)
+            return &entry;
+    return nullptr;
+}
+
+const StashEntry *
+Stash::find(BlockAddr addr) const
+{
+    for (const auto &entry : entries_)
+        if (!entry.is_backup && entry.addr == addr)
+            return &entry;
+    return nullptr;
+}
+
+StashEntry *
+Stash::findBackup(BlockAddr addr)
+{
+    for (auto &entry : entries_)
+        if (entry.is_backup && entry.addr == addr)
+            return &entry;
+    return nullptr;
+}
+
+void
+Stash::insert(const StashEntry &entry)
+{
+    if (entry.addr == kDummyBlockAddr)
+        PSORAM_PANIC("dummy blocks never enter the stash");
+    if (!entry.is_backup && find(entry.addr))
+        PSORAM_PANIC("duplicate live stash entry for block ", entry.addr);
+    if (entry.is_backup) {
+        if (StashEntry *old = findBackup(entry.addr)) {
+            *old = entry;
+            return;
+        }
+    }
+    entries_.push_back(entry);
+    peak_ = std::max(peak_, entries_.size());
+    if (entries_.size() > capacity_)
+        ++overflows_;
+}
+
+void
+Stash::removeAt(std::size_t index)
+{
+    if (index >= entries_.size())
+        PSORAM_PANIC("stash removeAt out of range");
+    entries_[index] = entries_.back();
+    entries_.pop_back();
+}
+
+bool
+Stash::remove(BlockAddr addr)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].is_backup && entries_[i].addr == addr) {
+            removeAt(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Stash::clear()
+{
+    entries_.clear();
+}
+
+std::size_t
+Stash::liveSize() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(entries_.begin(), entries_.end(),
+                      [](const StashEntry &e) { return !e.is_backup; }));
+}
+
+void
+Stash::sampleOccupancy()
+{
+    occupancy_.sample(static_cast<double>(entries_.size()));
+}
+
+} // namespace psoram

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ORAM stash: the small on-chip buffer holding blocks in flight between
+ * path reads and evictions (Table 3b: 200 entries).
+ *
+ * PS-ORAM additionally stores *backup blocks* in the stash: a copy of the
+ * accessed block under its old path id, guaranteed evictable to the path
+ * that was just read (paper §4.2.1 step 4). A backup coexists with the
+ * live entry for the same address, so entries are keyed by
+ * (address, is_backup).
+ */
+
+#ifndef PSORAM_ORAM_STASH_HH
+#define PSORAM_ORAM_STASH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "oram/block.hh"
+
+namespace psoram {
+
+struct StashEntry
+{
+    BlockAddr addr = kDummyBlockAddr;
+    PathId path = kInvalidPath;
+    /** Remap epoch (see PlainBlock::epoch). */
+    std::uint32_t epoch = 0;
+    std::array<std::uint8_t, kBlockDataBytes> data{};
+    /** True for PS-ORAM backup copies (old path id, pre-access data). */
+    bool is_backup = false;
+
+    PlainBlock
+    toBlock() const
+    {
+        return PlainBlock{addr, path, epoch, data};
+    }
+};
+
+class Stash
+{
+  public:
+    /** @param capacity nominal entry budget (occupancy stat threshold) */
+    explicit Stash(std::size_t capacity);
+
+    /** Find the live (non-backup) entry for @p addr; nullptr if absent. */
+    StashEntry *find(BlockAddr addr);
+    const StashEntry *find(BlockAddr addr) const;
+
+    /** Find the backup entry for @p addr; nullptr if absent. */
+    StashEntry *findBackup(BlockAddr addr);
+
+    /**
+     * Insert an entry. Duplicate live entries for one address are a
+     * protocol bug and panic; duplicate backups replace the old backup.
+     */
+    void insert(const StashEntry &entry);
+
+    /** Remove the entry at @p index (swap-with-last). */
+    void removeAt(std::size_t index);
+
+    /** Remove the live entry for @p addr if present. */
+    bool remove(BlockAddr addr);
+
+    /** Drop everything (crash: the stash is volatile). */
+    void clear();
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries counting toward ORAM occupancy analysis (live only). */
+    std::size_t liveSize() const;
+
+    StashEntry &at(std::size_t index) { return entries_[index]; }
+    const StashEntry &at(std::size_t index) const
+    {
+        return entries_[index];
+    }
+
+    /** Number of times size() exceeded capacity after an insert. */
+    std::uint64_t overflowEvents() const { return overflows_.value(); }
+
+    /** Peak size() ever observed. */
+    std::size_t peakSize() const { return peak_; }
+
+    const Distribution &occupancy() const { return occupancy_; }
+
+    /** Record an occupancy sample (call once per ORAM access). */
+    void sampleOccupancy();
+
+  private:
+    std::size_t capacity_;
+    std::vector<StashEntry> entries_;
+    Counter overflows_;
+    std::size_t peak_ = 0;
+    Distribution occupancy_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_ORAM_STASH_HH

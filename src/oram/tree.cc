@@ -1,0 +1,57 @@
+#include "oram/tree.hh"
+
+#include "common/log.hh"
+
+namespace psoram {
+
+BucketId
+TreeGeometry::bucketAt(PathId leaf, unsigned level) const
+{
+    if (level > height)
+        PSORAM_PANIC("level ", level, " beyond tree height ", height);
+    if (leaf >= numLeaves())
+        PSORAM_PANIC("leaf ", leaf, " out of range");
+    // The ancestor of the leaf node at the given level: drop the low
+    // (height - level) bits of the leaf index, then offset into the
+    // breadth-first array.
+    const std::uint64_t index = static_cast<std::uint64_t>(leaf) >>
+                                (height - level);
+    return ((1ULL << level) - 1) + index;
+}
+
+std::vector<BucketId>
+TreeGeometry::pathBuckets(PathId leaf) const
+{
+    std::vector<BucketId> buckets;
+    buckets.reserve(levels());
+    for (unsigned level = 0; level <= height; ++level)
+        buckets.push_back(bucketAt(leaf, level));
+    return buckets;
+}
+
+unsigned
+TreeGeometry::commonLevel(PathId a, PathId b) const
+{
+    unsigned level = height;
+    std::uint64_t xa = a, xb = b;
+    while (xa != xb) {
+        xa >>= 1;
+        xb >>= 1;
+        --level;
+    }
+    return level;
+}
+
+PathId
+TreeGeometry::leafUnder(BucketId bucket) const
+{
+    if (bucket >= numBuckets())
+        PSORAM_PANIC("bucket ", bucket, " out of range");
+    unsigned level = 0;
+    while (((2ULL << level) - 1) <= bucket)
+        ++level;
+    const std::uint64_t index = bucket - ((1ULL << level) - 1);
+    return static_cast<PathId>(index << (height - level));
+}
+
+} // namespace psoram

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ORAM tree geometry and NVM address layout.
+ *
+ * The tree is a complete binary tree of height L (L+1 levels); each node
+ * (bucket) holds Z block slots. Buckets are stored in the classic
+ * breadth-first flat array: bucket 0 is the root, bucket at (level, index)
+ * is (2^level - 1) + index. A path is identified by its leaf label in
+ * [0, 2^L).
+ */
+
+#ifndef PSORAM_ORAM_TREE_HH
+#define PSORAM_ORAM_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/block.hh"
+
+namespace psoram {
+
+struct TreeGeometry
+{
+    /** Tree height; the paper's 4 GB data ORAM uses L = 23. */
+    unsigned height;
+    /** Block slots per bucket (the paper uses Z = 4). */
+    unsigned bucket_slots;
+
+    unsigned levels() const { return height + 1; }
+    std::uint64_t numLeaves() const { return 1ULL << height; }
+    std::uint64_t numBuckets() const { return (2ULL << height) - 1; }
+    std::uint64_t numSlots() const
+    {
+        return numBuckets() * bucket_slots;
+    }
+
+    /** Blocks on one path (the WPQ worst-case size Z * (L + 1)). */
+    unsigned blocksPerPath() const { return bucket_slots * levels(); }
+
+    /**
+     * Logical data capacity at the given utilization (the paper stores
+     * 2 GB of data in a 4 GB tree, i.e. 50 %).
+     */
+    std::uint64_t
+    dataBlocks(double utilization = 0.5) const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(numSlots()) * utilization);
+    }
+
+    /** Bucket id of the node on @p leaf's path at @p level (0 = root). */
+    BucketId bucketAt(PathId leaf, unsigned level) const;
+
+    /** All bucket ids on @p leaf's path, root first. */
+    std::vector<BucketId> pathBuckets(PathId leaf) const;
+
+    /**
+     * Deepest level at which the paths to @p a and @p b coincide.
+     * Level L means a == b; level 0 means they only share the root.
+     */
+    unsigned commonLevel(PathId a, PathId b) const;
+
+    /** A leaf whose path passes through @p bucket (lowest such leaf). */
+    PathId leafUnder(BucketId bucket) const;
+};
+
+/**
+ * Physical placement of a tree in the NVM address space: bucket slots are
+ * fixed-size records starting at @p base.
+ */
+struct TreeLayout
+{
+    TreeGeometry geometry;
+    Addr base = 0;
+
+    std::uint64_t footprintBytes() const
+    {
+        return geometry.numSlots() * kSlotBytes;
+    }
+
+    /** NVM byte address of (bucket, slot). */
+    Addr
+    slotAddr(BucketId bucket, unsigned slot) const
+    {
+        return base +
+               (bucket * geometry.bucket_slots + slot) * kSlotBytes;
+    }
+};
+
+} // namespace psoram
+
+#endif // PSORAM_ORAM_TREE_HH

@@ -1,0 +1,31 @@
+#include "psoram/crash.hh"
+
+#include "common/log.hh"
+
+namespace psoram {
+
+std::string
+crashSiteName(CrashSite site)
+{
+    switch (site) {
+      case CrashSite::AfterRemap:
+        return "after-remap (step 2)";
+      case CrashSite::DuringLoad:
+        return "during-load (step 3)";
+      case CrashSite::AfterStashUpdate:
+        return "after-stash-update (step 4)";
+      case CrashSite::BeforeCommit:
+        return "before-commit (step 5-B)";
+      case CrashSite::AfterCommit:
+        return "after-commit (step 5-C)";
+      case CrashSite::BetweenRounds:
+        return "between-eviction-rounds";
+      case CrashSite::DuringDirectEviction:
+        return "during-direct-eviction";
+      case CrashSite::BetweenAccesses:
+        return "between-accesses";
+    }
+    PSORAM_PANIC("unknown crash site");
+}
+
+} // namespace psoram

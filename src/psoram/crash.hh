@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Crash-injection framework.
+ *
+ * The controller calls CrashPolicy::site() at every protocol point where
+ * the paper's case studies (§3.3) place a failure. When the policy
+ * trips, a CrashEvent unwinds the access: all volatile state (stash,
+ * PosMap, temporary PosMap, caches) is considered lost, the ADR domain
+ * flushes committed WPQ rounds, and the harness rebuilds a controller
+ * from the NVM image to exercise recovery (§4.3).
+ */
+
+#ifndef PSORAM_PSORAM_CRASH_HH
+#define PSORAM_PSORAM_CRASH_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace psoram {
+
+/** Protocol points where a power failure can be injected. */
+enum class CrashSite
+{
+    /** After the PosMap lookup / temp-PosMap backup (end of step 2). */
+    AfterRemap,
+    /** During the path load, after some slots were read (step 3). */
+    DuringLoad,
+    /** After the stash update and data-block backup (end of step 4). */
+    AfterStashUpdate,
+    /** After entries were pushed into the WPQs, before "end" (5-B). */
+    BeforeCommit,
+    /** After the "end" signal, before the drain finished (5-C). */
+    AfterCommit,
+    /** Between two eviction rounds (limited-WPQ configurations). */
+    BetweenRounds,
+    /** During a direct (non-WPQ) eviction write — Baseline/FullNVM. */
+    DuringDirectEviction,
+    /** After the access completed, before the next one. */
+    BetweenAccesses,
+};
+
+std::string crashSiteName(CrashSite site);
+
+/** Thrown when the configured crash point is reached. */
+class CrashEvent : public std::runtime_error
+{
+  public:
+    CrashEvent(CrashSite site, std::uint64_t access_index)
+        : std::runtime_error("simulated power failure at " +
+                             crashSiteName(site)),
+          site_(site), access_index_(access_index)
+    {
+    }
+
+    CrashSite site() const { return site_; }
+    std::uint64_t accessIndex() const { return access_index_; }
+
+  private:
+    CrashSite site_;
+    std::uint64_t access_index_;
+};
+
+/**
+ * Decides when to trip. The default policy never crashes; tests arm it
+ * with (site, access index, occurrence) triples.
+ */
+class CrashPolicy
+{
+  public:
+    virtual ~CrashPolicy() = default;
+
+    /**
+     * @param site the protocol point being passed
+     * @param access_index index of the in-flight ORAM access
+     * @return true to crash here
+     */
+    virtual bool shouldCrash(CrashSite site, std::uint64_t access_index)
+    {
+        (void)site;
+        (void)access_index;
+        return false;
+    }
+};
+
+/** Crash exactly once at the n-th occurrence of one site. */
+class CrashAtOccurrence : public CrashPolicy
+{
+  public:
+    CrashAtOccurrence(CrashSite site, std::uint64_t occurrence)
+        : site_(site), target_(occurrence)
+    {
+    }
+
+    bool
+    shouldCrash(CrashSite site, std::uint64_t) override
+    {
+        if (site != site_ || fired_)
+            return false;
+        if (++seen_ == target_) {
+            fired_ = true;
+            return true;
+        }
+        return false;
+    }
+
+    bool fired() const { return fired_; }
+
+  private:
+    CrashSite site_;
+    std::uint64_t target_;
+    std::uint64_t seen_ = 0;
+    bool fired_ = false;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_CRASH_HH

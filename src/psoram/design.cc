@@ -1,0 +1,61 @@
+#include "psoram/design.hh"
+
+#include "common/log.hh"
+
+namespace psoram {
+
+DesignOptions
+designOptions(DesignKind kind)
+{
+    DesignOptions options;
+    switch (kind) {
+      case DesignKind::Baseline:
+        break;
+      case DesignKind::FullNvm:
+        options.stash_tech = StashTech::PCM;
+        break;
+      case DesignKind::FullNvmStt:
+        options.stash_tech = StashTech::STTRAM;
+        break;
+      case DesignKind::NaivePsOram:
+        options.persist = PersistMode::NaiveAll;
+        options.backup_blocks = true;
+        break;
+      case DesignKind::PsOram:
+        options.persist = PersistMode::DirtyOnly;
+        options.backup_blocks = true;
+        break;
+      case DesignKind::RcrBaseline:
+        options.recursive_posmap = true;
+        break;
+      case DesignKind::RcrPsOram:
+        options.recursive_posmap = true;
+        options.persist = PersistMode::DirtyOnly;
+        break;
+    }
+    return options;
+}
+
+std::string
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Baseline:
+        return "Baseline";
+      case DesignKind::FullNvm:
+        return "FullNVM";
+      case DesignKind::FullNvmStt:
+        return "FullNVM(STT)";
+      case DesignKind::NaivePsOram:
+        return "Naive-PS-ORAM";
+      case DesignKind::PsOram:
+        return "PS-ORAM";
+      case DesignKind::RcrBaseline:
+        return "Rcr-Baseline";
+      case DesignKind::RcrPsOram:
+        return "Rcr-PS-ORAM";
+    }
+    PSORAM_PANIC("unknown design kind");
+}
+
+} // namespace psoram

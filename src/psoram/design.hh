@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-variant options for the crash-consistency evaluation (§5.1).
+ *
+ * One configurable controller implements every scheme the paper
+ * evaluates; the option combinations below reproduce the six designs:
+ *
+ *   Baseline       — Path ORAM on NVM, volatile stash/PosMap, no
+ *                    persistence support.
+ *   FullNVM        — stash and PosMap built from on-chip PCM (FullNVM) or
+ *                    STT-RAM (FullNVM-STT); not crash consistent (data
+ *                    and metadata writes are not atomic).
+ *   Naïve-PS-ORAM  — PS-ORAM protocol, but persists *all* Z(L+1) PosMap
+ *                    entries of the path on every eviction.
+ *   PS-ORAM        — the paper's design: temporary PosMap, backup
+ *                    blocks, dual WPQs, dirty-entry-only persistence.
+ *   Rcr-Baseline   — recursive PosMap (Freecursive-style) in untrusted
+ *                    NVM, no stash persistence.
+ *   Rcr-PS-ORAM    — recursive PosMap plus PS-ORAM stash persistence.
+ */
+
+#ifndef PSORAM_PSORAM_DESIGN_HH
+#define PSORAM_PSORAM_DESIGN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace psoram {
+
+/** What gets persisted at eviction time. */
+enum class PersistMode
+{
+    /** Nothing: volatile stash/PosMap (Baseline / FullNVM). */
+    None,
+    /** All Z(L+1) PosMap entries per eviction (Naïve-PS-ORAM). */
+    NaiveAll,
+    /** Only dirty PosMap entries (PS-ORAM). */
+    DirtyOnly,
+};
+
+/** Technology of the on-chip stash/PosMap buffers. */
+enum class StashTech
+{
+    SRAM,   // volatile, fast (Baseline and PS variants)
+    PCM,    // FullNVM
+    STTRAM, // FullNVM (STT)
+};
+
+struct DesignOptions
+{
+    PersistMode persist = PersistMode::None;
+    StashTech stash_tech = StashTech::SRAM;
+    /** Recursive PosMap in untrusted NVM instead of on-chip + trusted
+     *  region. */
+    bool recursive_posmap = false;
+    /** PS-ORAM backup blocks (step 4). Implied by persist != None. */
+    bool backup_blocks = false;
+    /** Entries per WPQ (96 in the default config, 4 for the ablation). */
+    std::size_t wpq_entries = 96;
+    /** Temporary PosMap capacity (Table 3b). */
+    std::size_t temp_posmap_entries = 96;
+
+    bool usesWpq() const { return persist != PersistMode::None; }
+};
+
+/** The six named designs of §5.1. */
+enum class DesignKind
+{
+    Baseline,
+    FullNvm,
+    FullNvmStt,
+    NaivePsOram,
+    PsOram,
+    RcrBaseline,
+    RcrPsOram,
+};
+
+/** Canonical option set for a named design. */
+DesignOptions designOptions(DesignKind kind);
+
+/** Display name matching the paper ("PS-ORAM", "Rcr-Baseline", ...). */
+std::string designName(DesignKind kind);
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_DESIGN_HH

@@ -1,0 +1,76 @@
+#include "psoram/drainer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+Drainer::Drainer(std::size_t data_capacity, std::size_t posmap_capacity)
+    : adr_(data_capacity, posmap_capacity)
+{
+}
+
+Cycle
+Drainer::persist(const EvictionBundle &bundle, NvmDevice &device,
+                 Cycle earliest, const DrainCrashHook &hook)
+{
+    std::size_t data_idx = 0;
+    std::size_t pos_idx = 0;
+    /** Data writes committed in earlier (already drained) rounds. */
+    std::size_t data_committed = 0;
+    Cycle done = earliest;
+    bool first_round = true;
+
+    while (data_idx < bundle.data_writes.size() ||
+           pos_idx < bundle.posmap_writes.size()) {
+        if (!first_round) {
+            ++splits_;
+            if (hook)
+                hook(CrashSite::BetweenRounds);
+        }
+        first_round = false;
+
+        // Step 5-B: "start" opens both queues; entries stream in.
+        adr_.start();
+        std::size_t in_round = 0;
+        while (data_idx < bundle.data_writes.size() &&
+               !adr_.dataWpq().full()) {
+            adr_.dataWpq().push(bundle.data_writes[data_idx]);
+            ++data_idx;
+            ++in_round;
+        }
+        // Metadata rides in the same bracket as (or a later one than)
+        // the data it describes — never an earlier one (rule 2).
+        while (pos_idx < bundle.posmap_writes.size() &&
+               bundle.posmap_writes[pos_idx].after_data <= data_idx &&
+               !adr_.posmapWpq().full()) {
+            adr_.posmapWpq().push(bundle.posmap_writes[pos_idx].entry);
+            ++pos_idx;
+            ++in_round;
+        }
+        if (in_round == 0)
+            PSORAM_PANIC("drainer made no progress (capacities ",
+                         adr_.dataWpq().capacity(), "/",
+                         adr_.posmapWpq().capacity(), ")");
+
+        if (hook)
+            hook(CrashSite::BeforeCommit);
+
+        // Step 5-C: "end" commits the round; ADR guarantees it reaches
+        // the NVM even across a power failure from here on.
+        adr_.end();
+
+        if (hook)
+            hook(CrashSite::AfterCommit);
+
+        done = adr_.drain(device, done);
+        data_committed = data_idx;
+        (void)data_committed;
+        entries_ += in_round;
+        ++rounds_;
+    }
+    return done;
+}
+
+} // namespace psoram

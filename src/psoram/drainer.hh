@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Drainer: the PS-ORAM controller component that moves eviction data and
+ * metadata into the WPQ pair and issues the atomic start/end signals
+ * (paper §4.1, Figure 4).
+ *
+ * When an eviction produces more entries than one WPQ round can hold
+ * (the limited-persistence-domain configuration, §4.2.3), the drainer
+ * splits it into multiple rounds under two ordering rules that keep any
+ * committed prefix of rounds recoverable:
+ *
+ *  1. Data writes are safe in any order: PS-ORAM's safe-placement
+ *     eviction only ever overwrites dummy slots, stale copies, or the
+ *     same block (identity rewrite) — the §4.2.3 write-order requirement
+ *     holds by construction (see DESIGN.md).
+ *  2. A PosMap entry (a -> l') may not commit *before* the round that
+ *     writes block a to path l'; committing it later is safe (recovery
+ *     then finds a's backup under the old mapping — the access aborts
+ *     atomically).
+ */
+
+#ifndef PSORAM_PSORAM_DRAINER_HH
+#define PSORAM_PSORAM_DRAINER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "nvm/adr_domain.hh"
+#include "psoram/crash.hh"
+
+namespace psoram {
+
+/** A metadata write with its ordering constraint. */
+struct PosmapWrite
+{
+    WpqEntry entry;
+    /**
+     * The entry may only enter a round once the first @p after_data
+     * data writes have been committed (0 = unconstrained).
+     */
+    std::size_t after_data = 0;
+};
+
+/** A fully assembled eviction: everything that must persist atomically. */
+struct EvictionBundle
+{
+    std::vector<WpqEntry> data_writes;
+    /** Must be sorted by after_data (the controller emits them so). */
+    std::vector<PosmapWrite> posmap_writes;
+};
+
+/** Hook invoked between rounds / around commit, for crash injection. */
+using DrainCrashHook = std::function<void(CrashSite)>;
+
+class Drainer
+{
+  public:
+    /**
+     * @param data_capacity data-block WPQ entries per round
+     * @param posmap_capacity PosMap WPQ entries per round
+     */
+    Drainer(std::size_t data_capacity, std::size_t posmap_capacity);
+
+    /**
+     * Persist @p bundle: split into WPQ-sized rounds, each bracketed by
+     * start/end and drained to @p device.
+     *
+     * @param hook crash-injection callback (may throw CrashEvent)
+     * @param earliest cycle the first round may begin draining
+     * @return completion cycle of the last drain
+     */
+    Cycle persist(const EvictionBundle &bundle, NvmDevice &device,
+                  Cycle earliest, const DrainCrashHook &hook);
+
+    AdrDomain &domain() { return adr_; }
+    const AdrDomain &domain() const { return adr_; }
+
+    std::uint64_t roundsIssued() const { return rounds_.value(); }
+    std::uint64_t entriesPersisted() const { return entries_.value(); }
+    std::uint64_t splitEvictions() const { return splits_.value(); }
+
+  private:
+    AdrDomain adr_;
+    Counter rounds_;
+    Counter entries_;
+    Counter splits_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_DRAINER_HH

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * PS-ORAM controller: the paper's crash-consistent ORAM controller
+ * (Figure 4), configurable to every design variant of §5.1.
+ *
+ * The controller implements the PS-ORAM access protocol (§4.2.1):
+ *
+ *   1. Check Stash
+ *   2. Access PosMap and Backup Label   (remap staged in the temporary
+ *                                        PosMap, not committed)
+ *   3. Load Path
+ *   4. Update Stash and Backup Data     (backup block under the old
+ *                                        path id)
+ *   5. PS-ORAM Eviction                 (atomic WPQ bracket via the
+ *                                        drainer; dirty-only metadata)
+ *
+ * Eviction uses *safe placement*: loaded blocks are rewritten in place
+ * (identity), backups land in the slot their block was loaded from, and
+ * stash-carried blocks only fill dummy slots. Every eviction write
+ * therefore overwrites a dummy, a stale copy, or the block itself, so
+ * any committed prefix of WPQ rounds leaves the tree recoverable — this
+ * realizes the write-ordering requirement of §4.2.3 by construction.
+ *
+ * Crash model: the stash, PosMap mirror, temporary PosMap and PoM
+ * position tables are volatile; the NVM image plus committed WPQ rounds
+ * survive. CrashPolicy hooks at each protocol site throw CrashEvent; the
+ * harness then calls powerFailureFlush(), discards the controller, and
+ * rebuilds one with recoverFromNvm().
+ */
+
+#ifndef PSORAM_PSORAM_PSORAM_CONTROLLER_HH
+#define PSORAM_PSORAM_PSORAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "nvm/device.hh"
+#include "oram/block.hh"
+#include "oram/controller.hh"
+#include "oram/posmap.hh"
+#include "oram/recursive_posmap.hh"
+#include "oram/stash.hh"
+#include "oram/tree.hh"
+#include "psoram/crash.hh"
+#include "psoram/design.hh"
+#include "psoram/drainer.hh"
+#include "psoram/shadow_stash.hh"
+#include "psoram/temp_posmap.hh"
+
+namespace psoram {
+
+struct PsOramParams
+{
+    TreeLayout data_layout;
+    /** Logical block address space. */
+    std::uint64_t num_blocks;
+    std::size_t stash_capacity = 200;
+    Aes128::Key key{};
+    CipherKind cipher = CipherKind::FastStream;
+    std::uint64_t seed = 1;
+    DesignOptions design;
+
+    /** @{ NVM region bases; sim::SystemBuilder lays these out. */
+    Addr posmap_region_base = 0;  ///< trusted PosMap region (non-rcr)
+    Addr pom_tree_base = 0;       ///< PosMap ORAM tree (recursive)
+    Addr pom_pos_region_base = 0; ///< persisted PoM positions (Rcr-PS)
+    Addr shadow_data_base = 0;    ///< data stash shadow (Rcr-PS)
+    Addr shadow_pom_base = 0;     ///< PoM stash shadow (Rcr-PS)
+    Addr naive_scratch_base = 0;  ///< Naive all-entry metadata scratch
+    /** @} */
+
+    /** PoM tree height; 0 derives it from num_blocks (recursive). */
+    unsigned pom_height = 0;
+    std::size_t pom_stash_capacity = 64;
+
+    /** Banks of the on-chip NVM buffer (FullNVM designs). */
+    unsigned onchip_banks = 8;
+    /** Controller pipeline occupancy per block (decrypt/steer). */
+    Cycle controller_block_cycles = 2;
+};
+
+/** Traffic as the paper counts it: NVM transactions (Fig. 6). */
+struct TrafficCounts
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Observer for durable commits: invoked once a block's data has become
+ * crash-recoverable (placed on the tree in a committed round, or written
+ * to the shadow region). Test oracles use this to track the expected
+ * post-recovery value of every address.
+ */
+using CommitObserver =
+    std::function<void(BlockAddr, const std::array<std::uint8_t,
+                                                   kBlockDataBytes> &)>;
+
+class PsOramController
+{
+  public:
+    PsOramController(const PsOramParams &params, NvmDevice &device);
+    ~PsOramController();
+
+    /** Read block @p addr into @p out (64 bytes). */
+    OramAccessInfo read(BlockAddr addr, std::uint8_t *out);
+
+    /** Write 64 bytes from @p in to block @p addr. */
+    OramAccessInfo write(BlockAddr addr, const std::uint8_t *in);
+
+    /** @{ Crash-injection plumbing. */
+    void setCrashPolicy(CrashPolicy *policy) { crash_policy_ = policy; }
+
+    /** ADR semantics at power failure: flush committed WPQ rounds. */
+    void powerFailureFlush();
+
+    /**
+     * Rebuild volatile state from the persistent NVM image: reload the
+     * shadow stashes and resume the region sequence counters. For the
+     * non-recursive designs the committed PosMap lives in the trusted
+     * NVM region and needs no eager rebuild.
+     */
+    void recoverFromNvm();
+    /** @} */
+
+    /** @{ FullNVM designs: the on-chip buffers are non-volatile. */
+    struct OnChipNvState
+    {
+        std::vector<StashEntry> stash;
+        std::unordered_map<BlockAddr, PathId> posmap;
+    };
+    OnChipNvState exportOnChipNvState() const;
+    void importOnChipNvState(const OnChipNvState &state);
+    /** @} */
+
+    /** @{ Observers. */
+    void setPathObserver(PathObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+    void setCommitObserver(CommitObserver observer)
+    {
+        commit_observer_ = std::move(observer);
+    }
+    /** @} */
+
+    /** Committed (persistent) position of @p addr. */
+    PathId committedPath(BlockAddr addr) const;
+
+    /** Effective position: pending temporary-PosMap entry, else
+     *  committed. */
+    PathId effectivePath(BlockAddr addr) const;
+
+    /** @{ Accessors for tests, benches and stats. */
+    const PsOramParams &params() const { return params_; }
+    const Stash &stash() const { return stash_; }
+    const TempPosMap &tempPosMap() const { return temp_; }
+    const Drainer *drainer() const { return drainer_.get(); }
+    const PosMapTreeLevel *pomLevel() const { return pom_.get(); }
+    NvmDevice *onChipDevice() { return onchip_.get(); }
+
+    std::uint64_t accessCount() const { return accesses_.value(); }
+    std::uint64_t stashHits() const { return stash_hits_.value(); }
+    std::uint64_t backupsCreated() const { return backups_.value(); }
+    std::uint64_t staleDropped() const { return stale_dropped_.value(); }
+    std::uint64_t forcedMerges() const { return forced_merges_.value(); }
+    /** Cumulative live stash residue after evictions. */
+    std::uint64_t unplacedCarried() const
+    {
+        return unplaced_carried_.value();
+    }
+    Cycle nowCycles() const { return now_; }
+
+    /** Total NVM traffic: main device plus on-chip NVM buffer writes
+     *  (the FullNVM designs' dominant cost, counted as in Fig. 6). */
+    TrafficCounts traffic() const;
+    /** @} */
+
+    /**
+     * Test helper: walk @p addr's committed path in the NVM image and
+     * return its committed data (what recovery would find).
+     * @return false if no committed copy exists (never-persisted block)
+     */
+    bool committedDataInTree(BlockAddr addr, std::uint8_t *out) const;
+
+  private:
+    struct LoadedSlot
+    {
+        unsigned level;
+        unsigned slot;
+        BlockAddr addr;  ///< kDummyBlockAddr when free/stale/dummy
+        bool is_backup_site; ///< slot where the target was found
+    };
+
+    OramAccessInfo access(BlockAddr addr, bool is_write,
+                          std::uint8_t *read_out,
+                          const std::uint8_t *write_in);
+
+    void maybeCrash(CrashSite site);
+
+    /** Steps of the protocol, factored for readability. */
+    PathId stepRemap(BlockAddr addr, PathId &new_leaf, Cycle &t,
+                     EvictionBundle &bundle, std::size_t &pom_after_data);
+    Cycle stepLoadPath(BlockAddr addr, PathId leaf, Cycle start,
+                       std::vector<LoadedSlot> &slots);
+    void stepBackup(BlockAddr addr, PathId leaf, PathId new_leaf,
+                    const std::vector<LoadedSlot> &slots);
+    Cycle stepEvict(BlockAddr addr, PathId leaf, Cycle t,
+                    std::vector<LoadedSlot> &slots,
+                    EvictionBundle &bundle, std::size_t pom_after_data);
+
+    /** Classify one decoded block during the path load. */
+    void classifyLoaded(const PlainBlock &block, BlockAddr target,
+                        PathId leaf, LoadedSlot &slot_info);
+
+    /** On-chip NVM buffer timing (FullNVM designs). */
+    Cycle onChipWrite(Cycle earliest);
+    Cycle onChipRead(Cycle earliest);
+
+    bool persistent() const
+    {
+        return params_.design.persist != PersistMode::None;
+    }
+    bool recursive() const { return params_.design.recursive_posmap; }
+    bool usesBackups() const
+    {
+        return persistent() && !recursive();
+    }
+
+    PsOramParams params_;
+    NvmDevice &device_;
+    TreeGeometry geo_;
+    BlockCodec codec_;
+    Rng rng_;
+
+    Stash stash_;
+    TempPosMap temp_;
+    /** Volatile PosMap (Baseline / FullNVM designs). */
+    PosMap volatile_posmap_;
+    /** Trusted-region persistent PosMap (non-recursive PS designs). */
+    PersistentPosMap persistent_posmap_;
+
+    /** Recursive machinery (null for non-recursive designs). */
+    std::unique_ptr<PosMapTreeLevel> pom_;
+    std::unique_ptr<ShadowStashRegion> shadow_data_;
+    std::unique_ptr<ShadowStashRegion> shadow_pom_;
+    /** Persisted PoM-block position region (Rcr-PS). */
+    std::unique_ptr<PersistentPosMap> pom_pos_region_;
+
+    std::unique_ptr<Drainer> drainer_;
+    /** On-chip NVM buffer for FullNVM stash/PosMap. */
+    std::unique_ptr<NvmDevice> onchip_;
+    Cycle onchip_clock_skew_ = 0;
+
+    CrashPolicy *crash_policy_ = nullptr;
+    PathObserver observer_;
+    CommitObserver commit_observer_;
+
+    Cycle now_ = 0;
+
+    Counter accesses_;
+    Counter stash_hits_;
+    Counter backups_;
+    Counter stale_dropped_;
+    Counter forced_merges_;
+    Counter unplaced_carried_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_PSORAM_CONTROLLER_HH

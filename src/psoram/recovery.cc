@@ -1,0 +1,38 @@
+#include "psoram/recovery.hh"
+
+namespace psoram {
+
+std::unique_ptr<PsOramController>
+RecoveryManager::recover(std::unique_ptr<PsOramController> crashed,
+                         NvmDevice &device, RecoveryReport *report)
+{
+    const PsOramParams params = crashed->params();
+    const bool onchip_nv =
+        params.design.stash_tech != StashTech::SRAM;
+
+    // The ADR domain drains committed rounds as the power fails.
+    crashed->powerFailureFlush();
+
+    PsOramController::OnChipNvState nv_state;
+    if (onchip_nv)
+        nv_state = crashed->exportOnChipNvState();
+
+    const std::uint64_t reads_before = device.totalReads();
+    crashed.reset(); // volatile state dies with the controller
+
+    auto recovered = std::make_unique<PsOramController>(params, device);
+    recovered->recoverFromNvm();
+    if (onchip_nv)
+        recovered->importOnChipNvState(nv_state);
+
+    if (report) {
+        report->nvm_reads = device.totalReads() - reads_before;
+        report->stash_restored = recovered->stash().size();
+        if (recovered->pomLevel())
+            report->pom_stash_restored =
+                recovered->pomLevel()->stash().size();
+    }
+    return recovered;
+}
+
+} // namespace psoram

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Recovery orchestration (paper §4.3): rebuild a working ORAM controller
+ * from the persistent NVM image after a power failure.
+ *
+ * The sequence a real system performs on power-up is:
+ *
+ *   1. ADR drains the committed WPQ rounds to the NVM (this happened at
+ *      failure time — powerFailureFlush()).
+ *   2. A fresh controller attaches to the NVM. Its committed PosMap is
+ *      already in the trusted NVM region (non-recursive) or the PosMap
+ *      ORAM trees (recursive); nothing volatile survived.
+ *   3. Recursive PS designs reload the stash shadow regions.
+ *
+ * RecoveryManager packages that sequence for the harness and the tests,
+ * and measures the recovery cost (reads performed, cycles).
+ */
+
+#ifndef PSORAM_PSORAM_RECOVERY_HH
+#define PSORAM_PSORAM_RECOVERY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "psoram/psoram_controller.hh"
+
+namespace psoram {
+
+struct RecoveryReport
+{
+    /** NVM reads performed during the rebuild. */
+    std::uint64_t nvm_reads = 0;
+    /** Stash entries restored from the shadow region. */
+    std::size_t stash_restored = 0;
+    /** PoM stash entries restored. */
+    std::size_t pom_stash_restored = 0;
+};
+
+class RecoveryManager
+{
+  public:
+    /**
+     * Simulate the power failure on @p crashed (ADR flush), destroy it,
+     * and build a recovered controller over the same device.
+     *
+     * For FullNVM designs the on-chip buffers are non-volatile: their
+     * content is carried over (that alone does not make the design
+     * crash consistent — the data/metadata updates are not atomic,
+     * which the tests demonstrate).
+     */
+    static std::unique_ptr<PsOramController>
+    recover(std::unique_ptr<PsOramController> crashed, NvmDevice &device,
+            RecoveryReport *report = nullptr);
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_RECOVERY_HH

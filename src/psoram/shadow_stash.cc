@@ -1,0 +1,92 @@
+#include "psoram/shadow_stash.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+ShadowStashRegion::ShadowStashRegion(Addr base, std::size_t capacity)
+    : base_(base), capacity_(capacity)
+{
+}
+
+std::vector<WpqEntry>
+ShadowStashRegion::snapshotWrites(const Stash &stash, BlockCodec &codec)
+{
+    std::vector<WpqEntry> writes;
+
+    // Write into the area the current header does NOT point at.
+    ++seq_;
+    const unsigned area = static_cast<unsigned>(seq_ % 2);
+
+    std::uint32_t count = 0;
+    for (std::size_t i = 0; i < stash.size(); ++i) {
+        const StashEntry &entry = stash.at(i);
+        if (entry.is_backup)
+            continue; // backups live in the tree, not the shadow
+        if (count >= capacity_) {
+            ++dropped_;
+            continue;
+        }
+        WpqEntry write;
+        write.addr = areaBase(area) + count * kSlotBytes;
+        const SlotBytes slot = codec.encode(entry.toBlock());
+        write.data.assign(slot.begin(), slot.end());
+        writes.push_back(std::move(write));
+        ++count;
+    }
+
+    // The header flips the active area; it is pushed last, so it can
+    // only commit after every slot above is durable.
+    WpqEntry header;
+    header.addr = base_;
+    header.data.resize(kHeaderBytes);
+    std::memcpy(header.data.data(), &count, sizeof(count));
+    std::memcpy(header.data.data() + 4, &area, sizeof(area));
+    std::memcpy(header.data.data() + 8, &seq_, sizeof(seq_));
+    writes.push_back(std::move(header));
+    return writes;
+}
+
+std::vector<StashEntry>
+ShadowStashRegion::recover(const NvmDevice &device,
+                           const BlockCodec &codec) const
+{
+    std::uint8_t raw[kHeaderBytes] = {};
+    device.readBytes(base_, raw, kHeaderBytes);
+    std::uint32_t count = 0;
+    unsigned area = 0;
+    std::memcpy(&count, raw, sizeof(count));
+    std::memcpy(&area, raw + 4, sizeof(area));
+    if (count > capacity_ || area > 1)
+        PSORAM_PANIC("corrupt shadow stash header: count=", count,
+                     " area=", area);
+
+    std::vector<StashEntry> entries;
+    entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SlotBytes slot{};
+        device.readBytes(areaBase(area) + i * kSlotBytes, slot.data(),
+                         kSlotBytes);
+        const PlainBlock block = codec.decode(slot);
+        if (block.isDummy())
+            PSORAM_PANIC("corrupt shadow stash slot ", i);
+        StashEntry entry;
+        entry.addr = block.addr;
+        entry.path = block.path;
+        entry.data = block.data;
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+void
+ShadowStashRegion::resumeFrom(const NvmDevice &device)
+{
+    std::uint8_t raw[kHeaderBytes] = {};
+    device.readBytes(base_, raw, kHeaderBytes);
+    std::memcpy(&seq_, raw + 8, sizeof(seq_));
+}
+
+} // namespace psoram

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shadow stash region: the NVM area where Rcr-PS-ORAM persists the
+ * dirty blocks remaining in a (volatile) stash after each eviction.
+ *
+ * The paper's recursive design writes the PosMap through to the NVM
+ * PosMap ORAM on every access, so a block whose stash copy is lost in a
+ * crash would be unrecoverable (its mapping already points at the new
+ * path). Rcr-PS-ORAM therefore "persist[s] the dirty blocks in the
+ * stash ... for crash recoverability" (§5.1): after every eviction the
+ * stash residue is serialized into a fixed NVM region through the data
+ * WPQ, in the same atomic bracket as the path write. Recovery reads the
+ * region back into the stash.
+ *
+ * The region is double-buffered: snapshots alternate between two slot
+ * areas and a single-entry header (count, sequence, active area) is
+ * pushed *after* all slots. Because the drainer preserves push order
+ * across rounds, the header only ever commits once its area is fully
+ * persistent — a crash mid-snapshot falls back to the previous area,
+ * keeping recovery atomic even with 4-entry WPQs.
+ */
+
+#ifndef PSORAM_PSORAM_SHADOW_STASH_HH
+#define PSORAM_PSORAM_SHADOW_STASH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "nvm/device.hh"
+#include "nvm/wpq.hh"
+#include "oram/block.hh"
+#include "oram/stash.hh"
+
+namespace psoram {
+
+class ShadowStashRegion
+{
+  public:
+    static constexpr std::size_t kHeaderBytes = 16;
+
+    /**
+     * @param base NVM byte address of the region
+     * @param capacity maximum entries (the stash capacity)
+     */
+    ShadowStashRegion(Addr base, std::size_t capacity);
+
+    std::uint64_t footprintBytes() const
+    {
+        return kHeaderBytes + 2 * capacity_ * kSlotBytes;
+    }
+
+    /**
+     * Serialize the live (non-backup) entries of @p stash into WPQ
+     * entries (slots into the inactive area, then the flipping header),
+     * ready to be appended to an eviction bundle.
+     */
+    std::vector<WpqEntry> snapshotWrites(const Stash &stash,
+                                         BlockCodec &codec);
+
+    /** Recovery: decode the active area back into stash entries. */
+    std::vector<StashEntry> recover(const NvmDevice &device,
+                                    const BlockCodec &codec) const;
+
+    /**
+     * Recovery: resume the sequence counter from the persistent header
+     * so the next snapshot targets the inactive area. Without this, a
+     * crash during the first post-recovery snapshot could corrupt the
+     * still-active area.
+     */
+    void resumeFrom(const NvmDevice &device);
+
+    Addr base() const { return base_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries that did not fit in the region (should stay zero). */
+    std::uint64_t droppedEntries() const { return dropped_; }
+
+  private:
+    Addr areaBase(unsigned which) const
+    {
+        return base_ + kHeaderBytes + which * capacity_ * kSlotBytes;
+    }
+
+    Addr base_;
+    std::size_t capacity_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_SHADOW_STASH_HH

@@ -1,0 +1,126 @@
+#include "sim/system.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "psoram/recovery.hh"
+
+namespace psoram {
+
+namespace {
+
+/** Align a region base up to a 4 KiB boundary. */
+Addr
+alignUp(Addr addr)
+{
+    return (addr + 4095) & ~Addr{4095};
+}
+
+} // namespace
+
+PsOramParams
+systemParams(const SystemConfig &config)
+{
+    PsOramParams params;
+    params.data_layout.geometry =
+        TreeGeometry{config.tree_height, config.bucket_slots};
+    params.data_layout.base = 0;
+
+    params.num_blocks = config.num_blocks != 0
+        ? config.num_blocks
+        : params.data_layout.geometry.dataBlocks(0.5);
+    params.stash_capacity = config.stash_capacity;
+    params.cipher = config.cipher;
+    params.seed = config.seed;
+
+    params.design = designOptions(config.design);
+    params.design.wpq_entries = config.wpq_entries;
+    params.design.temp_posmap_entries = config.temp_posmap_entries;
+
+
+    // Region layout, packed after the data tree.
+    Addr cursor = alignUp(params.data_layout.footprintBytes());
+
+    params.posmap_region_base = cursor;
+    cursor = alignUp(cursor +
+                     params.num_blocks * PersistentPosMap::kEntryBytes);
+
+    if (params.design.recursive_posmap) {
+        // PoM tree sized at ~50 % utilization for the entry blocks.
+        const std::uint64_t entry_blocks =
+            divCeil(params.num_blocks, kEntriesPerPosBlock);
+        unsigned height = 1;
+        while (static_cast<std::uint64_t>(config.bucket_slots) *
+                   ((2ULL << height) - 1) < 2 * entry_blocks)
+            ++height;
+        params.pom_height = height;
+        const TreeGeometry pom_geo{height, config.bucket_slots};
+        params.pom_tree_base = cursor;
+        cursor = alignUp(cursor + pom_geo.numSlots() * kSlotBytes);
+
+        params.pom_pos_region_base = cursor;
+        cursor = alignUp(cursor +
+                         entry_blocks * PersistentPosMap::kEntryBytes);
+
+        params.shadow_data_base = cursor;
+        cursor = alignUp(cursor + ShadowStashRegion::kHeaderBytes +
+                         2 * params.stash_capacity * kSlotBytes);
+        params.shadow_pom_base = cursor;
+        cursor = alignUp(cursor + ShadowStashRegion::kHeaderBytes +
+                         2 * params.pom_stash_capacity * kSlotBytes);
+
+        if (params.design.usesWpq()) {
+            // The recursive eviction bundle (data path + PoM path +
+            // stash shadows) must commit in ONE atomic bracket: the
+            // §4.2.3 write-ordering scheme for small WPQs is defined
+            // for the non-recursive design only (see DESIGN.md). Size
+            // the WPQs for the worst-case bundle.
+            const std::uint64_t data_side =
+                params.data_layout.geometry.blocksPerPath() +
+                params.stash_capacity + 1 +
+                params.pom_stash_capacity + 1;
+            const std::uint64_t pom_path =
+                static_cast<std::uint64_t>(config.bucket_slots) *
+                (height + 1);
+            const std::uint64_t min_entries =
+                std::max<std::uint64_t>(data_side, 2 * pom_path + 8);
+            if (params.design.wpq_entries < min_entries)
+                params.design.wpq_entries = min_entries;
+        }
+    }
+
+    params.naive_scratch_base = cursor;
+    cursor = alignUp(cursor + params.data_layout.geometry.blocksPerPath() *
+                              kBlockDataBytes);
+
+    return params;
+}
+
+System
+buildSystem(const SystemConfig &config)
+{
+    System system;
+    system.config = config;
+    system.params = systemParams(config);
+
+    // Capacity: everything laid out above plus headroom (the scratch
+    // region is laid out last in systemParams).
+    const Addr last =
+        system.params.naive_scratch_base +
+        system.params.data_layout.geometry.blocksPerPath() *
+            kBlockDataBytes;
+    system.device = std::make_unique<NvmDevice>(
+        timingsFor(config.main_tech), config.channels,
+        config.banks_per_channel, alignUp(last) + (1ULL << 20));
+    system.controller = std::make_unique<PsOramController>(
+        system.params, *system.device);
+    return system;
+}
+
+void
+System::recoverController()
+{
+    controller = RecoveryManager::recover(std::move(controller),
+                                          *device);
+}
+
+} // namespace psoram

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * System builder: lays out the NVM address space (ORAM tree, trusted
+ * PosMap region, PosMap ORAM tree, shadow regions) and wires a device +
+ * controller pair for one of the §5.1 design variants.
+ */
+
+#ifndef PSORAM_SIM_SYSTEM_HH
+#define PSORAM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "nvm/device.hh"
+#include "psoram/design.hh"
+#include "psoram/psoram_controller.hh"
+
+namespace psoram {
+
+struct SystemConfig
+{
+    DesignKind design = DesignKind::PsOram;
+
+    /** @{ Memory system (Table 3c, Fig. 7 sweeps channels). */
+    NvmTech main_tech = NvmTech::PCM;
+    unsigned channels = 1;
+    unsigned banks_per_channel = 8;
+    /** @} */
+
+    /** @{ ORAM geometry (Table 3b). */
+    unsigned tree_height = 23;
+    unsigned bucket_slots = 4;
+    /** 0 = derive from 50 % utilization. */
+    std::uint64_t num_blocks = 0;
+    std::size_t stash_capacity = 200;
+    std::size_t wpq_entries = 96;
+    std::size_t temp_posmap_entries = 96;
+    /** @} */
+
+    CipherKind cipher = CipherKind::FastStream;
+    std::uint64_t seed = 1;
+};
+
+/** A wired device + controller pair. */
+struct System
+{
+    SystemConfig config;
+    PsOramParams params;
+    std::unique_ptr<NvmDevice> device;
+    std::unique_ptr<PsOramController> controller;
+
+    /**
+     * Rebuild the controller after a crash (keeps the device): applies
+     * the ADR power-failure flush, drops all volatile state, and runs
+     * recovery from the NVM image. Observers and crash policies are
+     * attached to the controller instance and must be re-registered on
+     * the new one.
+     */
+    void recoverController();
+};
+
+/** Construct the full system for @p config. */
+System buildSystem(const SystemConfig &config);
+
+/** Derive the controller parameter block (region layout) only. */
+PsOramParams systemParams(const SystemConfig &config);
+
+} // namespace psoram
+
+#endif // PSORAM_SIM_SYSTEM_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Synthetic memory-trace generation calibrated to a target MPKI.
+ *
+ * Each trace record is a data access annotated with the number of
+ * non-memory instructions since the previous access. The generator mixes
+ * two address streams:
+ *
+ *  - a *hot set* sized to fit comfortably in the L2 (these accesses hit
+ *    in cache and only shape the instruction mix), and
+ *  - a *miss stream* that walks fresh cache lines over a large region
+ *    with a reuse distance far beyond the L2 capacity (these accesses
+ *    are guaranteed LLC misses).
+ *
+ * Dialing the ratio of miss-stream accesses to instructions reproduces a
+ * workload's published MPKI without needing the original SPEC binaries.
+ */
+
+#ifndef PSORAM_TRACE_GENERATOR_HH
+#define PSORAM_TRACE_GENERATOR_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/workloads.hh"
+
+namespace psoram {
+
+/** One data access in a trace. */
+struct TraceRecord
+{
+    /** Instructions retired since the previous record (>= 1). */
+    std::uint32_t gap;
+    /** Accessed cache-line address (logical block address). */
+    BlockAddr line;
+    bool is_write;
+};
+
+/** Abstract pull-based trace source. */
+class TraceStream
+{
+  public:
+    virtual ~TraceStream() = default;
+
+    /** @return false when the trace is exhausted. */
+    virtual bool next(TraceRecord &out) = 0;
+
+    /** Restart from the beginning (same sequence). */
+    virtual void reset() = 0;
+};
+
+struct GeneratorParams
+{
+    /** Total instructions to emit (the paper samples 5M per trace). */
+    std::uint64_t instructions = 5'000'000;
+    /**
+     * Hot-set size in lines. Kept within the L1 capacity so the hot
+     * set's recency stays visible to the L1 and the miss stream's L2
+     * pollution cannot silently evict it (which would distort the MPKI
+     * calibration).
+     */
+    std::uint64_t hot_lines = 256;
+    /** Miss-stream region size in lines (reuse distance >> L2). */
+    std::uint64_t stream_lines = 1 << 20;
+    /** Number of logical lines addressable (ORAM data capacity). */
+    std::uint64_t address_space_lines = 1ULL << 25;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * MPKI-calibrated synthetic trace.
+ *
+ * Deterministic: the same (workload, params) pair always yields the same
+ * sequence, which the crash-consistency tests rely on.
+ */
+class SyntheticTrace : public TraceStream
+{
+  public:
+    SyntheticTrace(const WorkloadSpec &workload,
+                   const GeneratorParams &params = {});
+
+    bool next(TraceRecord &out) override;
+    void reset() override;
+
+    const WorkloadSpec &workload() const { return workload_; }
+    std::uint64_t emittedInstructions() const { return instr_emitted_; }
+
+  private:
+    BlockAddr hotLine();
+    BlockAddr streamLine();
+
+    WorkloadSpec workload_;
+    GeneratorParams params_;
+    Rng rng_;
+
+    /** Probability that a data access belongs to the miss stream. */
+    double miss_fraction_;
+    /** Mean instruction gap between consecutive data accesses. */
+    double mean_gap_;
+
+    std::uint64_t instr_emitted_ = 0;
+    std::uint64_t stream_cursor_ = 0;
+    /** Base line address of the hot set (derived from the seed). */
+    BlockAddr hot_base_ = 0;
+    BlockAddr stream_base_ = 0;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_TRACE_GENERATOR_HH

@@ -1,0 +1,81 @@
+#include "trace/trace_file.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+bool
+VectorTrace::next(TraceRecord &out)
+{
+    if (cursor_ >= records_.size())
+        return false;
+    out = records_[cursor_++];
+    return true;
+}
+
+VectorTrace
+parseTrace(const std::string &text)
+{
+    VectorTrace trace;
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        TraceRecord record{};
+        std::string op, addr;
+        if (!(fields >> record.gap >> op >> addr))
+            PSORAM_FATAL("trace line ", line_no, ": expected '<gap> "
+                         "<R|W> <hex addr>', got '", line, "'");
+        if (op == "R" || op == "r")
+            record.is_write = false;
+        else if (op == "W" || op == "w")
+            record.is_write = true;
+        else
+            PSORAM_FATAL("trace line ", line_no, ": bad op '", op, "'");
+        char *end = nullptr;
+        record.line = std::strtoull(addr.c_str(), &end, 16);
+        if (end == addr.c_str() || *end != '\0')
+            PSORAM_FATAL("trace line ", line_no, ": bad address '",
+                         addr, "'");
+        if (record.gap == 0)
+            record.gap = 1;
+        trace.append(record);
+    }
+    return trace;
+}
+
+VectorTrace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        PSORAM_FATAL("cannot open trace file '", path, "'");
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return parseTrace(buffer.str());
+}
+
+std::string
+formatTrace(VectorTrace &trace)
+{
+    std::ostringstream out;
+    out << "# psoram trace: <gap> <R|W> <hex line address>\n";
+    trace.reset();
+    TraceRecord record{};
+    while (trace.next(record)) {
+        out << record.gap << " " << (record.is_write ? "W" : "R")
+            << " " << std::hex << record.line << std::dec << "\n";
+    }
+    trace.reset();
+    return out.str();
+}
+
+} // namespace psoram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * File-backed trace streams.
+ *
+ * Besides the synthetic generator, the library can replay externally
+ * captured memory traces (e.g., converted pin/simpoint dumps) from a
+ * simple text format — one record per line:
+ *
+ *     <gap> <R|W> <hex line address>
+ *
+ * Lines starting with '#' are comments. This gives downstream users a
+ * way to evaluate PS-ORAM on their own workloads without touching the
+ * generator.
+ */
+
+#ifndef PSORAM_TRACE_TRACE_FILE_HH
+#define PSORAM_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace psoram {
+
+/** In-memory replayable trace. */
+class VectorTrace : public TraceStream
+{
+  public:
+    VectorTrace() = default;
+    explicit VectorTrace(std::vector<TraceRecord> records)
+        : records_(std::move(records))
+    {
+    }
+
+    void
+    append(const TraceRecord &record)
+    {
+        records_.push_back(record);
+    }
+
+    bool next(TraceRecord &out) override;
+    void reset() override { cursor_ = 0; }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Parse the text trace format.
+ * Fatal on malformed input (user error).
+ */
+VectorTrace loadTraceFile(const std::string &path);
+
+/** Parse trace records from an already-loaded string (testing). */
+VectorTrace parseTrace(const std::string &text);
+
+/** Serialize a trace back to the text format. */
+std::string formatTrace(VectorTrace &trace);
+
+} // namespace psoram
+
+#endif // PSORAM_TRACE_TRACE_FILE_HH

@@ -1,0 +1,39 @@
+#include "trace/workloads.hh"
+
+namespace psoram {
+
+const std::vector<WorkloadSpec> &
+spec2006Workloads()
+{
+    // Table 4 of the paper. The mem/write fractions are generator
+    // parameters, not published values; they only set the density of
+    // cache-hitting accesses around the calibrated miss stream.
+    static const std::vector<WorkloadSpec> workloads = {
+        {"401.bzip2", 61.16},
+        {"403.gcc", 1.19},
+        {"429.mcf", 4.66},
+        {"445.gobmk", 29.60},
+        {"456.hmmer", 4.53},
+        {"458.sjeng", 110.99},
+        {"462.libquantum", 18.27},
+        {"464.h264ref", 19.74},
+        {"471.omnetpp", 7.84},
+        {"483.xalancbmk", 8.99},
+        {"444.namd", 8.08},
+        {"453.povray", 6.12},
+        {"470.lbm", 18.38},
+        {"482.sphinx3", 17.51},
+    };
+    return workloads;
+}
+
+std::optional<WorkloadSpec>
+findWorkload(const std::string &name)
+{
+    for (const auto &workload : spec2006Workloads())
+        if (workload.name == name)
+            return workload;
+    return std::nullopt;
+}
+
+} // namespace psoram

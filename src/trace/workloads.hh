@@ -1,0 +1,40 @@
+/**
+ * @file
+ * SPEC CPU2006 workload roster with the MPKIs published in Table 4.
+ *
+ * The paper drives its evaluation with simpoint traces of 14 SPEC 2006
+ * benchmarks; those traces are not redistributable, so this repository
+ * substitutes synthetic traces calibrated to the same per-workload MPKI
+ * (see trace/generator.hh and DESIGN.md's substitution table).
+ */
+
+#ifndef PSORAM_TRACE_WORKLOADS_HH
+#define PSORAM_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psoram {
+
+struct WorkloadSpec
+{
+    std::string name;
+    /** Target LLC misses per kilo-instruction (Table 4). */
+    double mpki;
+    /** Fraction of instructions that access data memory. */
+    double mem_fraction = 0.30;
+    /** Fraction of data accesses that are stores. */
+    double write_fraction = 0.30;
+};
+
+/** The 14 SPEC 2006 workloads of Table 4 with their published MPKIs. */
+const std::vector<WorkloadSpec> &spec2006Workloads();
+
+/** Find a workload by name; nullopt if unknown. */
+std::optional<WorkloadSpec> findWorkload(const std::string &name);
+
+} // namespace psoram
+
+#endif // PSORAM_TRACE_WORKLOADS_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cache and hierarchy tests: LRU set-associative behaviour, write-back
+ * victims, and the L1/L2 miss path feeding the ORAM frontend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/core.hh"
+#include "mem/hierarchy.hh"
+
+namespace psoram {
+namespace {
+
+CacheParams
+smallCache(unsigned assoc = 2, std::uint64_t size = 1024)
+{
+    CacheParams params;
+    params.name = "test";
+    params.size_bytes = size;
+    params.associativity = assoc;
+    params.line_bytes = 64;
+    params.latency = 2;
+    return params;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(1, false).hit);
+    EXPECT_TRUE(cache.access(1, false).hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 1024B / 64B / 2-way = 8 sets. Lines 0, 8, 16 map to set 0.
+    Cache cache(smallCache());
+    cache.access(0, false);
+    cache.access(8, false);
+    cache.access(0, false);  // 0 is now MRU
+    cache.access(16, false); // evicts 8 (LRU)
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(8));
+    EXPECT_TRUE(cache.probe(16));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache cache(smallCache());
+    cache.access(0, true); // dirty
+    cache.access(8, false);
+    const CacheAccessResult result = cache.access(16, false);
+    ASSERT_TRUE(result.writeback_line.has_value());
+    EXPECT_EQ(*result.writeback_line, 0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimHasNoWriteback)
+{
+    Cache cache(smallCache());
+    cache.access(0, false);
+    cache.access(8, false);
+    const CacheAccessResult result = cache.access(16, false);
+    EXPECT_FALSE(result.writeback_line.has_value());
+}
+
+TEST(Cache, WriteHitSetsDirty)
+{
+    Cache cache(smallCache());
+    cache.access(0, false);
+    cache.access(0, true); // becomes dirty via hit
+    cache.access(8, false);
+    const CacheAccessResult result = cache.access(16, false);
+    ASSERT_TRUE(result.writeback_line.has_value());
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache(smallCache());
+    cache.access(0, true);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_FALSE(cache.access(0, false).hit);
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    CacheParams params = smallCache();
+    params.size_bytes = 100; // not a multiple
+    EXPECT_DEATH(Cache{params}, "multiple");
+}
+
+TEST(Hierarchy, L1HitLatency)
+{
+    CacheHierarchy hierarchy;
+    int memory_calls = 0;
+    const MemRequestHandler memory = [&](const MemRequest &) -> CpuCycle {
+        ++memory_calls;
+        return 100;
+    };
+    hierarchy.access(1, false, memory); // cold miss -> memory
+    EXPECT_EQ(memory_calls, 1);
+    const CpuCycle lat = hierarchy.access(1, false, memory);
+    EXPECT_EQ(memory_calls, 1);
+    EXPECT_EQ(lat, 2u); // Table 3a: L1 2-cycle
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CacheHierarchy hierarchy;
+    int memory_calls = 0;
+    const MemRequestHandler memory = [&](const MemRequest &) -> CpuCycle {
+        ++memory_calls;
+        return 0;
+    };
+    // L1: 32KB/64B/2-way = 256 sets; lines n*256 collide in L1 set 0
+    // but land in different L2 sets (L2 has 2048 sets).
+    hierarchy.access(0, false, memory);
+    hierarchy.access(256, false, memory);
+    hierarchy.access(512, false, memory); // L1 set 0 full; 0 evicted
+    const int calls_before = memory_calls;
+    const CpuCycle lat = hierarchy.access(0, false, memory);
+    EXPECT_EQ(memory_calls, calls_before); // L2 hit, no memory
+    EXPECT_EQ(lat, 2u + 20u);
+}
+
+TEST(Hierarchy, DirtyL2VictimGoesToMemoryAsWrite)
+{
+    CacheHierarchy hierarchy;
+    std::vector<MemRequest> requests;
+    const MemRequestHandler memory =
+        [&](const MemRequest &request) -> CpuCycle {
+        requests.push_back(request);
+        return 0;
+    };
+    // Fill one L2 set (2048 sets, 8 ways): lines n*2048 collide.
+    hierarchy.access(0, true, memory); // dirty in L1, will sink to L2
+    // Force 0 out of L1 first so the dirty bit reaches L2.
+    hierarchy.access(2048 * 1, false, memory);
+    hierarchy.access(2048 * 2, false, memory);
+    // ... now overflow the L2 set with 8 more distinct lines.
+    for (int i = 3; i <= 9; ++i)
+        hierarchy.access(2048 * i, false, memory);
+    bool saw_writeback = false;
+    for (const MemRequest &request : requests)
+        saw_writeback |= request.is_write;
+    EXPECT_TRUE(saw_writeback);
+}
+
+TEST(Hierarchy, LlcMissCounterTracksL2Misses)
+{
+    CacheHierarchy hierarchy;
+    const MemRequestHandler memory = [](const MemRequest &) -> CpuCycle {
+        return 0;
+    };
+    for (BlockAddr line = 0; line < 100; ++line)
+        hierarchy.access(line, false, memory);
+    EXPECT_EQ(hierarchy.llcMisses(), 100u);
+    for (BlockAddr line = 0; line < 100; ++line)
+        hierarchy.access(line, false, memory);
+    EXPECT_EQ(hierarchy.llcMisses(), 100u); // all hits
+}
+
+TEST(Core, RunsTraceAndAccountsCycles)
+{
+    struct FixedTrace : TraceStream
+    {
+        int remaining = 10;
+        bool
+        next(TraceRecord &out) override
+        {
+            if (remaining-- <= 0)
+                return false;
+            out.gap = 5;
+            out.line = static_cast<BlockAddr>(remaining) * 2048;
+            out.is_write = false;
+            return true;
+        }
+        void reset() override { remaining = 10; }
+    };
+
+    CacheHierarchy hierarchy;
+    InOrderCore core(hierarchy);
+    FixedTrace trace;
+    const MemRequestHandler memory = [](const MemRequest &) -> CpuCycle {
+        return 1000;
+    };
+    const CoreRunStats stats = core.run(trace, memory);
+    EXPECT_EQ(stats.instructions, 50u);
+    EXPECT_EQ(stats.mem_accesses, 10u);
+    EXPECT_EQ(stats.llc_misses, 10u);
+    // 50 instruction cycles + 10 * (2 + 20 + 1000) memory cycles.
+    EXPECT_EQ(stats.cycles, 50u + 10u * 1022u);
+    EXPECT_NEAR(stats.mpki(), 200.0, 1e-9);
+}
+
+} // namespace
+} // namespace psoram

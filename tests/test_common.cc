@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: RNG, bit utilities, config
+ * store, statistics, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/config.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace psoram {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(13);
+    int heads = 0;
+    for (int i = 0; i < 20000; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PathsCoverLeafSpaceUniformly)
+{
+    Rng rng(17);
+    constexpr std::uint64_t kLeaves = 16;
+    std::array<int, kLeaves> histogram{};
+    constexpr int kDraws = 16000;
+    for (int i = 0; i < kDraws; ++i)
+        ++histogram[rng.nextPath(kLeaves)];
+    for (const int count : histogram)
+        EXPECT_NEAR(count, kDraws / kLeaves, 250);
+}
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(Bitops, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+    EXPECT_EQ(bits(0xF0, 4, 4), 0xFu);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 5), 0u);
+    EXPECT_EQ(divCeil(1, 5), 1u);
+    EXPECT_EQ(divCeil(5, 5), 1u);
+    EXPECT_EQ(divCeil(6, 5), 2u);
+}
+
+TEST(Config, TypedAccessorsAndDefaults)
+{
+    Config config;
+    config.set("name", "psoram");
+    config.setInt("height", 23);
+    config.setDouble("util", 0.5);
+    config.setBool("recursive", true);
+
+    EXPECT_EQ(config.getString("name", "x"), "psoram");
+    EXPECT_EQ(config.getInt("height", 0), 23);
+    EXPECT_DOUBLE_EQ(config.getDouble("util", 0.0), 0.5);
+    EXPECT_TRUE(config.getBool("recursive", false));
+    EXPECT_EQ(config.getInt("missing", 7), 7);
+    EXPECT_FALSE(config.has("missing"));
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config config;
+    EXPECT_TRUE(config.parseAssignment("wpq=4"));
+    EXPECT_TRUE(config.parseAssignment("cipher=aes"));
+    EXPECT_FALSE(config.parseAssignment("no-equals"));
+    EXPECT_FALSE(config.parseAssignment("=value"));
+    EXPECT_EQ(config.getInt("wpq", 0), 4);
+    EXPECT_EQ(config.getString("cipher", ""), "aes");
+}
+
+TEST(Config, ParseArgsSkipsNonAssignments)
+{
+    const char *argv[] = {"prog", "height=6", "--flag", "z=2"};
+    Config config;
+    config.parseArgs(4, const_cast<char **>(argv));
+    EXPECT_EQ(config.getInt("height", 0), 6);
+    EXPECT_EQ(config.getInt("z", 0), 2);
+    EXPECT_EQ(config.keys().size(), 2u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    ++counter;
+    counter += 5;
+    EXPECT_EQ(counter.value(), 6u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution dist;
+    dist.sample(1.0);
+    dist.sample(5.0);
+    dist.sample(3.0);
+    EXPECT_EQ(dist.count(), 3u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 5.0);
+}
+
+TEST(Stats, HistogramBucketsAndPercentile)
+{
+    Histogram histogram(10, 1.0);
+    for (int i = 0; i < 100; ++i)
+        histogram.sample(i % 10);
+    EXPECT_EQ(histogram.total(), 100u);
+    EXPECT_EQ(histogram.bucketCount(0), 10u);
+    EXPECT_EQ(histogram.overflow(), 0u);
+    EXPECT_NEAR(histogram.percentile(0.5), 5.0, 1.0);
+
+    histogram.sample(100.0);
+    EXPECT_EQ(histogram.overflow(), 1u);
+}
+
+TEST(Stats, GroupDumpsRegisteredStats)
+{
+    StatGroup group("oram");
+    Counter reads;
+    reads += 42;
+    group.addCounter("reads", &reads, "path reads");
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("oram.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    EXPECT_EQ(group.counterValue("reads"), 42u);
+    EXPECT_EQ(group.counterValue("absent"), 0u);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    TextTable table({"design", "overhead"});
+    table.addRow({"PS-ORAM", TextTable::pct(0.0429)});
+    table.addRow({"Naive", TextTable::pct(0.7392)});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("PS-ORAM"), std::string::npos);
+    EXPECT_NE(out.find("+4.29%"), std::string::npos);
+    EXPECT_NE(out.find("+73.92%"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace psoram

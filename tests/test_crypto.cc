@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Crypto substrate tests: AES-128 against FIPS-197 known-answer vectors
+ * and CTR-mode / fast-stream behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes128.hh"
+#include "crypto/ctr.hh"
+
+namespace psoram {
+namespace {
+
+Aes128::Key
+keyFromBytes(std::initializer_list<std::uint8_t> bytes)
+{
+    Aes128::Key key{};
+    std::size_t i = 0;
+    for (const auto b : bytes)
+        key[i++] = b;
+    return key;
+}
+
+// FIPS-197 Appendix B: single-block known-answer test.
+TEST(Aes128, Fips197AppendixB)
+{
+    const Aes128::Key key = keyFromBytes(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+    Aes128::Block plaintext = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30,
+                               0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                               0x07, 0x34};
+    const Aes128::Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                    0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                    0x19, 0x6a, 0x0b, 0x32};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(plaintext), expected);
+}
+
+// NIST SP 800-38A F.1.1 ECB-AES128 vectors (first two blocks).
+TEST(Aes128, Sp80038aEcbVectors)
+{
+    const Aes128::Key key = keyFromBytes(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+    Aes128 aes(key);
+
+    const Aes128::Block p1 = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f,
+                              0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+                              0x17, 0x2a};
+    const Aes128::Block c1 = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36,
+                              0x60, 0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66,
+                              0xef, 0x97};
+    EXPECT_EQ(aes.encrypt(p1), c1);
+
+    const Aes128::Block p2 = {0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac,
+                              0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf,
+                              0x8e, 0x51};
+    const Aes128::Block c2 = {0xf5, 0xd3, 0xd5, 0x85, 0x03, 0xb9, 0x69,
+                              0x9d, 0xe7, 0x85, 0x89, 0x5a, 0x96, 0xfd,
+                              0xba, 0xaf};
+    EXPECT_EQ(aes.encrypt(p2), c2);
+}
+
+TEST(Aes128, AllZeroKeyVector)
+{
+    // NIST known-answer: AES-128(0^128 key, 0^128 block).
+    Aes128 aes(Aes128::Key{});
+    const Aes128::Block expected = {0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a,
+                                    0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59,
+                                    0xca, 0x34, 0x2b, 0x2e};
+    EXPECT_EQ(aes.encrypt(Aes128::Block{}), expected);
+}
+
+TEST(CtrCipher, RoundTripIsIdentity)
+{
+    const Aes128::Key key = keyFromBytes({1, 2, 3, 4, 5, 6, 7, 8});
+    CtrCipher cipher(key);
+    std::uint8_t data[100];
+    for (int i = 0; i < 100; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    std::uint8_t original[100];
+    std::memcpy(original, data, sizeof(data));
+
+    cipher.apply(0x1234, data, sizeof(data));
+    EXPECT_NE(std::memcmp(data, original, sizeof(data)), 0);
+    cipher.apply(0x1234, data, sizeof(data));
+    EXPECT_EQ(std::memcmp(data, original, sizeof(data)), 0);
+}
+
+TEST(CtrCipher, DifferentIvsDifferentKeystreams)
+{
+    CtrCipher cipher(Aes128::Key{});
+    std::uint8_t a[64] = {};
+    std::uint8_t b[64] = {};
+    cipher.apply(1, a, sizeof(a));
+    cipher.apply(2, b, sizeof(b));
+    EXPECT_NE(std::memcmp(a, b, sizeof(a)), 0);
+}
+
+TEST(CtrCipher, PartialBlockLengths)
+{
+    CtrCipher cipher(Aes128::Key{});
+    for (const std::size_t len : {1u, 7u, 15u, 16u, 17u, 63u}) {
+        std::vector<std::uint8_t> data(len, 0xAA);
+        const std::vector<std::uint8_t> original = data;
+        cipher.apply(99, data.data(), len);
+        cipher.apply(99, data.data(), len);
+        EXPECT_EQ(data, original) << "len=" << len;
+    }
+}
+
+TEST(CtrCipher, PrefixConsistency)
+{
+    // The first 16 bytes of a 64-byte encryption equal a 16-byte
+    // encryption with the same IV (counter-mode structure).
+    CtrCipher cipher(Aes128::Key{});
+    std::uint8_t longbuf[64] = {};
+    std::uint8_t shortbuf[16] = {};
+    cipher.apply(5, longbuf, sizeof(longbuf));
+    cipher.apply(5, shortbuf, sizeof(shortbuf));
+    EXPECT_EQ(std::memcmp(longbuf, shortbuf, 16), 0);
+}
+
+} // namespace
+} // namespace psoram

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * PosMap tests: lazy PRF initialization, the on-chip map, the trusted
+ * NVM region codec, and the temporary PosMap staging semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/device.hh"
+#include "oram/posmap.hh"
+#include "psoram/temp_posmap.hh"
+
+namespace psoram {
+namespace {
+
+TEST(InitialPath, DeterministicAndInRange)
+{
+    for (BlockAddr addr = 0; addr < 1000; ++addr) {
+        const PathId p = initialPath(7, addr, 256);
+        EXPECT_LT(p, 256u);
+        EXPECT_EQ(p, initialPath(7, addr, 256));
+    }
+}
+
+TEST(InitialPath, RoughlyUniform)
+{
+    std::array<int, 16> histogram{};
+    for (BlockAddr addr = 0; addr < 16000; ++addr)
+        ++histogram[initialPath(3, addr, 16)];
+    for (const int count : histogram)
+        EXPECT_NEAR(count, 1000, 200);
+}
+
+TEST(PosMap, LazyInitThenOverride)
+{
+    PosMap posmap(128, 64, 5);
+    const PathId initial = posmap.get(10);
+    EXPECT_EQ(initial, initialPath(5, 10, 64));
+    EXPECT_EQ(posmap.populated(), 0u);
+
+    posmap.set(10, 33);
+    EXPECT_EQ(posmap.get(10), 33u);
+    EXPECT_EQ(posmap.populated(), 1u);
+
+    posmap.clear();
+    EXPECT_EQ(posmap.get(10), initial);
+}
+
+TEST(PosMap, OutOfRangePanics)
+{
+    PosMap posmap(16, 8, 1);
+    EXPECT_DEATH(posmap.get(16), "out of range");
+    EXPECT_DEATH(posmap.set(16, 0), "out of range");
+}
+
+TEST(PersistentPosMap, UnwrittenEntryFallsBackToPrf)
+{
+    NvmDevice device(pcmTimings(), 1, 8, 1 << 20);
+    PersistentPosMap region(4096, 100, 9, 64);
+    EXPECT_EQ(region.readEntry(device, 42), initialPath(9, 42, 64));
+}
+
+TEST(PersistentPosMap, WriteThenReadBack)
+{
+    NvmDevice device(pcmTimings(), 1, 8, 1 << 20);
+    PersistentPosMap region(4096, 100, 9, 64);
+    region.writeEntry(device, 42, 17);
+    EXPECT_EQ(region.readEntry(device, 42), 17u);
+    // Neighbor entries are untouched.
+    EXPECT_EQ(region.readEntry(device, 41), initialPath(9, 41, 64));
+    EXPECT_EQ(region.readEntry(device, 43), initialPath(9, 43, 64));
+}
+
+TEST(PersistentPosMap, EntryAddressesAreDense)
+{
+    PersistentPosMap region(4096, 100, 9, 64);
+    EXPECT_EQ(region.entryAddr(0), 4096u);
+    EXPECT_EQ(region.entryAddr(1),
+              4096u + PersistentPosMap::kEntryBytes);
+    EXPECT_EQ(region.footprintBytes(),
+              100u * PersistentPosMap::kEntryBytes);
+    EXPECT_DEATH(region.entryAddr(100), "out of range");
+}
+
+TEST(PersistentPosMap, EncodeSetsValidBit)
+{
+    const std::uint32_t word = PersistentPosMap::encodeEntry(5);
+    EXPECT_TRUE(word & PersistentPosMap::kValidBit);
+    EXPECT_EQ(word & ~PersistentPosMap::kValidBit, 5u);
+}
+
+TEST(PersistentPosMap, PathZeroIsDistinguishableFromUnwritten)
+{
+    // Path id 0 written must NOT fall back to the PRF.
+    NvmDevice device(pcmTimings(), 1, 8, 1 << 20);
+    PersistentPosMap region(0, 10, 123, 64);
+    // Choose an address whose PRF initial is nonzero.
+    BlockAddr addr = 0;
+    while (initialPath(123, addr, 64) == 0)
+        ++addr;
+    region.writeEntry(device, addr, 0);
+    EXPECT_EQ(region.readEntry(device, addr), 0u);
+}
+
+TEST(TempPosMap, PutGetErase)
+{
+    TempPosMap temp(4);
+    EXPECT_FALSE(temp.get(1).has_value());
+    temp.put(1, 10);
+    temp.put(2, 20);
+    EXPECT_EQ(*temp.get(1), 10u);
+    EXPECT_EQ(*temp.get(2), 20u);
+    EXPECT_EQ(temp.size(), 2u);
+    EXPECT_TRUE(temp.erase(1));
+    EXPECT_FALSE(temp.erase(1));
+    EXPECT_FALSE(temp.get(1).has_value());
+}
+
+TEST(TempPosMap, OverwriteKeepsSingleEntry)
+{
+    TempPosMap temp(4);
+    temp.put(1, 10);
+    temp.put(1, 11); // re-remapped before commit
+    EXPECT_EQ(temp.size(), 1u);
+    EXPECT_EQ(*temp.get(1), 11u);
+}
+
+TEST(TempPosMap, OldestFollowsInsertionOrder)
+{
+    TempPosMap temp(4);
+    EXPECT_FALSE(temp.oldest().has_value());
+    temp.put(5, 1);
+    temp.put(6, 2);
+    temp.put(7, 3);
+    EXPECT_EQ(*temp.oldest(), 5u);
+    temp.erase(5);
+    EXPECT_EQ(*temp.oldest(), 6u);
+}
+
+TEST(TempPosMap, PressureCountedWhenFull)
+{
+    TempPosMap temp(2);
+    temp.put(1, 1);
+    temp.put(2, 2);
+    EXPECT_TRUE(temp.full());
+    EXPECT_EQ(temp.pressureEvents(), 0u);
+    temp.put(3, 3); // above capacity: counted, still stored
+    EXPECT_EQ(temp.pressureEvents(), 1u);
+    EXPECT_EQ(temp.size(), 3u);
+}
+
+TEST(TempPosMap, ClearDropsEverything)
+{
+    TempPosMap temp(4);
+    temp.put(1, 1);
+    temp.put(2, 2);
+    temp.clear();
+    EXPECT_EQ(temp.size(), 0u);
+    EXPECT_FALSE(temp.oldest().has_value());
+}
+
+} // namespace
+} // namespace psoram

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * PosMap ORAM tree level unit tests: entry packing, PRF fallback,
+ * stash-hit fast path, identity placement, and dirty-position tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oram/recursive_posmap.hh"
+
+namespace psoram {
+namespace {
+
+class PomLevelTest : public ::testing::Test
+{
+  protected:
+    PomLevelTest()
+        : device_(pcmTimings(), 1, 8, 64ULL << 20),
+          codec_(Aes128::Key{1, 2, 3}, CipherKind::FastStream),
+          rng_(5)
+    {
+        PosMapTreeLevel::Params params;
+        params.layout.geometry = TreeGeometry{4, 4};
+        params.layout.base = 0;
+        params.num_entry_blocks = 64;
+        params.stash_capacity = 32;
+        params.seed = 9;
+        const std::uint64_t leaves = params.layout.geometry.numLeaves();
+        level_ = std::make_unique<PosMapTreeLevel>(
+            params, device_, codec_, rng_,
+            [leaves](std::uint64_t idx) {
+                return initialPath(42, idx, leaves);
+            });
+    }
+
+    /** Apply the level's eviction writes straight to the device. */
+    void
+    applyWrites(const PosMapTreeLevel::AccessOutcome &outcome)
+    {
+        for (const auto &write : outcome.writes)
+            device_.writeBytes(write.addr, write.data.data(),
+                               write.data.size());
+    }
+
+    NvmDevice device_;
+    BlockCodec codec_;
+    Rng rng_;
+    std::unique_ptr<PosMapTreeLevel> level_;
+};
+
+TEST_F(PomLevelTest, UnwrittenEntryReadsZeroWord)
+{
+    const auto outcome = level_->accessEntry(
+        10, PersistentPosMap::encodeEntry(3), nullptr);
+    EXPECT_EQ(outcome.old_word, 0u); // never written -> PRF fallback
+    EXPECT_EQ(outcome.block_index, 10u / kEntriesPerPosBlock);
+    applyWrites(outcome);
+}
+
+TEST_F(PomLevelTest, WriteThenReadBackEntry)
+{
+    auto first = level_->accessEntry(
+        100, PersistentPosMap::encodeEntry(7), nullptr);
+    applyWrites(first);
+    auto second = level_->accessEntry(
+        100, PersistentPosMap::encodeEntry(9), nullptr);
+    applyWrites(second);
+    EXPECT_EQ(second.old_word, PersistentPosMap::encodeEntry(7));
+}
+
+TEST_F(PomLevelTest, NeighborEntriesInSameBlockIndependent)
+{
+    // Entries 32 and 33 share entry block 2.
+    applyWrites(level_->accessEntry(
+        32, PersistentPosMap::encodeEntry(1), nullptr));
+    applyWrites(level_->accessEntry(
+        33, PersistentPosMap::encodeEntry(2), nullptr));
+    auto a = level_->accessEntry(32, PersistentPosMap::encodeEntry(1),
+                                 nullptr);
+    applyWrites(a);
+    EXPECT_EQ(a.old_word, PersistentPosMap::encodeEntry(1));
+    auto b = level_->accessEntry(33, PersistentPosMap::encodeEntry(2),
+                                 nullptr);
+    applyWrites(b);
+    EXPECT_EQ(b.old_word, PersistentPosMap::encodeEntry(2));
+}
+
+TEST_F(PomLevelTest, SameBlockConsecutiveAccessHitsStash)
+{
+    // After accessing entry 0, its block may remain in the stash if the
+    // eviction could not re-place it; force that situation by NOT
+    // applying the eviction writes... actually the entry block is
+    // placed back; instead access twice in a row and check the counter
+    // only when the stash holds it.
+    auto first = level_->accessEntry(
+        0, PersistentPosMap::encodeEntry(1), nullptr);
+    applyWrites(first);
+    if (level_->stash().find(0) != nullptr) {
+        const auto hits_before = level_->stashHits();
+        auto second = level_->accessEntry(
+            1, PersistentPosMap::encodeEntry(2), nullptr);
+        applyWrites(second);
+        EXPECT_GT(level_->stashHits(), hits_before);
+        EXPECT_TRUE(second.stash_hit);
+        EXPECT_TRUE(second.writes.empty());
+    }
+}
+
+TEST_F(PomLevelTest, AccessReadsWholePath)
+{
+    int reads = 0;
+    auto outcome = level_->accessEntry(
+        5, PersistentPosMap::encodeEntry(1),
+        [&](Addr) { ++reads; });
+    applyWrites(outcome);
+    const unsigned per_path = TreeGeometry{4, 4}.blocksPerPath();
+    EXPECT_EQ(static_cast<unsigned>(reads), per_path);
+    EXPECT_EQ(outcome.slots_read, per_path);
+    EXPECT_EQ(outcome.writes.size(), per_path);
+}
+
+TEST_F(PomLevelTest, RemapChangesBlockPosition)
+{
+    const std::uint64_t block = 3;
+    const PathId before = level_->blockPosition(block);
+    auto outcome = level_->accessEntry(
+        block * kEntriesPerPosBlock, PersistentPosMap::encodeEntry(1),
+        nullptr);
+    applyWrites(outcome);
+    EXPECT_EQ(level_->blockPosition(block), outcome.new_block_pos);
+    // The accessed path is the pre-remap position.
+    EXPECT_EQ(outcome.accessed_leaf, before);
+}
+
+TEST_F(PomLevelTest, DirtyPositionLifecycle)
+{
+    const std::uint64_t block = 2;
+    EXPECT_FALSE(level_->isPositionDirty(block));
+    auto outcome = level_->accessEntry(
+        block * kEntriesPerPosBlock, PersistentPosMap::encodeEntry(4),
+        nullptr);
+    applyWrites(outcome);
+    EXPECT_TRUE(level_->isPositionDirty(block));
+    level_->clearPositionDirty(block);
+    EXPECT_FALSE(level_->isPositionDirty(block));
+}
+
+TEST_F(PomLevelTest, PlacedListCoversWrittenRealBlocks)
+{
+    auto outcome = level_->accessEntry(
+        20, PersistentPosMap::encodeEntry(1), nullptr);
+    applyWrites(outcome);
+    bool target_placed = false;
+    for (const auto &[idx, pos] : outcome.placed)
+        if (idx == 20u / kEntriesPerPosBlock) {
+            target_placed = true;
+            EXPECT_EQ(pos, outcome.new_block_pos);
+        }
+    // Either placed on the path or left in the stash.
+    EXPECT_EQ(target_placed,
+              level_->stash().find(20 / kEntriesPerPosBlock) ==
+                  nullptr);
+}
+
+TEST_F(PomLevelTest, LoseVolatileStateResetsEverything)
+{
+    applyWrites(level_->accessEntry(
+        7, PersistentPosMap::encodeEntry(1), nullptr));
+    level_->loseVolatileState();
+    EXPECT_TRUE(level_->stash().empty());
+    // Positions fall back to the resolver.
+    EXPECT_EQ(level_->blockPosition(0), initialPath(42, 0, 16));
+}
+
+TEST_F(PomLevelTest, ManyAccessesKeepStashSmall)
+{
+    Rng addr_rng(99);
+    for (int op = 0; op < 2000; ++op) {
+        auto outcome = level_->accessEntry(
+            addr_rng.nextBelow(64 * kEntriesPerPosBlock),
+            PersistentPosMap::encodeEntry(
+                static_cast<PathId>(op % 16)),
+            nullptr);
+        applyWrites(outcome);
+    }
+    EXPECT_LT(level_->stash().peakSize(), 32u);
+    EXPECT_EQ(level_->stash().overflowEvents(), 0u);
+}
+
+} // namespace
+} // namespace psoram

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shadow stash region tests: snapshot/recover round trips, the
+ * double-buffer flip, and crash-window semantics (an uncommitted
+ * snapshot must leave the previous one intact).
+ */
+
+#include <gtest/gtest.h>
+
+#include "psoram/shadow_stash.hh"
+
+namespace psoram {
+namespace {
+
+class ShadowStashTest : public ::testing::Test
+{
+  protected:
+    ShadowStashTest()
+        : device_(pcmTimings(), 1, 8, 16ULL << 20),
+          codec_(Aes128::Key{5}, CipherKind::FastStream),
+          region_(4096, 8)
+    {
+    }
+
+    StashEntry
+    entry(BlockAddr addr, PathId path, std::uint8_t tag)
+    {
+        StashEntry e;
+        e.addr = addr;
+        e.path = path;
+        e.data.fill(tag);
+        return e;
+    }
+
+    void
+    applyAll(const std::vector<WpqEntry> &writes)
+    {
+        for (const auto &w : writes)
+            device_.writeBytes(w.addr, w.data.data(), w.data.size());
+    }
+
+    NvmDevice device_;
+    BlockCodec codec_;
+    ShadowStashRegion region_;
+};
+
+TEST_F(ShadowStashTest, EmptyRegionRecoversNothing)
+{
+    const auto entries = region_.recover(device_, codec_);
+    EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(ShadowStashTest, SnapshotRecoverRoundTrip)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10, 0xA1));
+    stash.insert(entry(2, 20, 0xB2));
+    applyAll(region_.snapshotWrites(stash, codec_));
+
+    const auto recovered = region_.recover(device_, codec_);
+    ASSERT_EQ(recovered.size(), 2u);
+    for (const auto &e : recovered) {
+        if (e.addr == 1) {
+            EXPECT_EQ(e.path, 10u);
+            EXPECT_EQ(e.data[0], 0xA1);
+        } else {
+            EXPECT_EQ(e.addr, 2u);
+            EXPECT_EQ(e.path, 20u);
+            EXPECT_EQ(e.data[0], 0xB2);
+        }
+    }
+}
+
+TEST_F(ShadowStashTest, BackupsAreExcluded)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10, 0xA1));
+    StashEntry backup = entry(1, 5, 0xCC);
+    backup.is_backup = true;
+    stash.insert(backup);
+    applyAll(region_.snapshotWrites(stash, codec_));
+    const auto recovered = region_.recover(device_, codec_);
+    ASSERT_EQ(recovered.size(), 1u);
+    EXPECT_FALSE(recovered[0].is_backup);
+}
+
+TEST_F(ShadowStashTest, NewSnapshotReplacesOld)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10, 0xA1));
+    applyAll(region_.snapshotWrites(stash, codec_));
+
+    Stash stash2(8);
+    stash2.insert(entry(3, 30, 0xC3));
+    stash2.insert(entry(4, 40, 0xD4));
+    applyAll(region_.snapshotWrites(stash2, codec_));
+
+    const auto recovered = region_.recover(device_, codec_);
+    ASSERT_EQ(recovered.size(), 2u);
+    for (const auto &e : recovered)
+        EXPECT_TRUE(e.addr == 3 || e.addr == 4);
+}
+
+TEST_F(ShadowStashTest, UncommittedSnapshotLeavesPreviousIntact)
+{
+    // Double-buffering: if a crash drops a snapshot's writes (slots or
+    // header), recovery must see the previous snapshot unharmed.
+    Stash stash(8);
+    stash.insert(entry(1, 10, 0xA1));
+    applyAll(region_.snapshotWrites(stash, codec_));
+
+    Stash stash2(8);
+    stash2.insert(entry(9, 90, 0xE9));
+    auto writes = region_.snapshotWrites(stash2, codec_);
+    // Apply only the slot writes, NOT the trailing header (the round
+    // never committed).
+    for (std::size_t i = 0; i + 1 < writes.size(); ++i)
+        device_.writeBytes(writes[i].addr, writes[i].data.data(),
+                           writes[i].data.size());
+
+    const auto recovered = region_.recover(device_, codec_);
+    ASSERT_EQ(recovered.size(), 1u);
+    EXPECT_EQ(recovered[0].addr, 1u);
+    EXPECT_EQ(recovered[0].data[0], 0xA1);
+}
+
+TEST_F(ShadowStashTest, ResumeFromContinuesAlternation)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10, 0xA1));
+    applyAll(region_.snapshotWrites(stash, codec_));
+
+    // A recovered region object must not clobber the active area on
+    // its first post-recovery snapshot.
+    ShadowStashRegion recovered_region(4096, 8);
+    recovered_region.resumeFrom(device_);
+
+    Stash stash2(8);
+    stash2.insert(entry(7, 70, 0xF7));
+    auto writes = recovered_region.snapshotWrites(stash2, codec_);
+    // Drop the snapshot (crash before commit): the old one survives.
+    for (std::size_t i = 0; i + 1 < writes.size(); ++i)
+        device_.writeBytes(writes[i].addr, writes[i].data.data(),
+                           writes[i].data.size());
+    const auto entries = recovered_region.recover(device_, codec_);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].addr, 1u);
+}
+
+TEST_F(ShadowStashTest, OverflowCountsDropped)
+{
+    Stash stash(16);
+    for (BlockAddr a = 0; a < 12; ++a)
+        stash.insert(entry(a, static_cast<PathId>(a), 1));
+    applyAll(region_.snapshotWrites(stash, codec_)); // capacity 8
+    EXPECT_EQ(region_.droppedEntries(), 4u);
+    EXPECT_EQ(region_.recover(device_, codec_).size(), 8u);
+}
+
+TEST_F(ShadowStashTest, FootprintCoversBothAreas)
+{
+    EXPECT_EQ(region_.footprintBytes(),
+              ShadowStashRegion::kHeaderBytes + 2 * 8 * kSlotBytes);
+}
+
+} // namespace
+} // namespace psoram

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Stash tests: lookup, backup coexistence (PS-ORAM step 4), occupancy
+ * accounting and misuse detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oram/stash.hh"
+
+namespace psoram {
+namespace {
+
+StashEntry
+entry(BlockAddr addr, PathId path, bool backup = false)
+{
+    StashEntry e;
+    e.addr = addr;
+    e.path = path;
+    e.is_backup = backup;
+    e.data[0] = static_cast<std::uint8_t>(addr);
+    return e;
+}
+
+TEST(Stash, InsertFindRemove)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(2, 20));
+    ASSERT_NE(stash.find(1), nullptr);
+    EXPECT_EQ(stash.find(1)->path, 10u);
+    EXPECT_EQ(stash.find(3), nullptr);
+    EXPECT_TRUE(stash.remove(1));
+    EXPECT_EQ(stash.find(1), nullptr);
+    EXPECT_FALSE(stash.remove(1));
+    EXPECT_EQ(stash.size(), 1u);
+}
+
+TEST(Stash, BackupCoexistsWithLiveEntry)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(1, 5, true)); // backup under the old path
+    EXPECT_EQ(stash.size(), 2u);
+    EXPECT_EQ(stash.find(1)->path, 10u);        // live
+    EXPECT_EQ(stash.findBackup(1)->path, 5u);   // backup
+    EXPECT_EQ(stash.liveSize(), 1u);
+}
+
+TEST(Stash, BackupReplacesOlderBackup)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 5, true));
+    stash.insert(entry(1, 6, true));
+    EXPECT_EQ(stash.size(), 1u);
+    EXPECT_EQ(stash.findBackup(1)->path, 6u);
+}
+
+TEST(Stash, RemoveOnlyTouchesLiveEntry)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(1, 5, true));
+    EXPECT_TRUE(stash.remove(1));
+    EXPECT_EQ(stash.find(1), nullptr);
+    EXPECT_NE(stash.findBackup(1), nullptr);
+}
+
+TEST(Stash, DuplicateLiveInsertPanics)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    EXPECT_DEATH(stash.insert(entry(1, 11)), "duplicate");
+}
+
+TEST(Stash, DummyInsertPanics)
+{
+    Stash stash(8);
+    StashEntry dummy;
+    dummy.addr = kDummyBlockAddr;
+    EXPECT_DEATH(stash.insert(dummy), "dummy");
+}
+
+TEST(Stash, OverflowEventsCounted)
+{
+    Stash stash(2);
+    stash.insert(entry(1, 1));
+    stash.insert(entry(2, 2));
+    EXPECT_EQ(stash.overflowEvents(), 0u);
+    stash.insert(entry(3, 3));
+    EXPECT_EQ(stash.overflowEvents(), 1u);
+    EXPECT_EQ(stash.peakSize(), 3u);
+}
+
+TEST(Stash, OccupancySampling)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 1));
+    stash.sampleOccupancy();
+    stash.insert(entry(2, 2));
+    stash.insert(entry(3, 3));
+    stash.sampleOccupancy();
+    EXPECT_EQ(stash.occupancy().count(), 2u);
+    EXPECT_DOUBLE_EQ(stash.occupancy().mean(), 2.0);
+    EXPECT_DOUBLE_EQ(stash.occupancy().max(), 3.0);
+}
+
+TEST(Stash, ClearEmptiesEverything)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 1));
+    stash.insert(entry(1, 2, true));
+    stash.clear();
+    EXPECT_TRUE(stash.empty());
+    EXPECT_EQ(stash.find(1), nullptr);
+    EXPECT_EQ(stash.findBackup(1), nullptr);
+}
+
+TEST(Stash, RemoveAtSwapsWithLast)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 1));
+    stash.insert(entry(2, 2));
+    stash.insert(entry(3, 3));
+    stash.removeAt(0);
+    EXPECT_EQ(stash.size(), 2u);
+    EXPECT_EQ(stash.find(1), nullptr);
+    EXPECT_NE(stash.find(2), nullptr);
+    EXPECT_NE(stash.find(3), nullptr);
+    EXPECT_DEATH(stash.removeAt(5), "out of range");
+}
+
+} // namespace
+} // namespace psoram

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * File-backed trace tests: parse, replay, round trip, and error
+ * handling of the text trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_file.hh"
+
+namespace psoram {
+namespace {
+
+TEST(TraceFile, ParseBasicRecords)
+{
+    VectorTrace trace = parseTrace("# comment\n"
+                                   "3 R 1a\n"
+                                   "1 W ff\n"
+                                   "\n"
+                                   "7 r 0\n");
+    ASSERT_EQ(trace.size(), 3u);
+    TraceRecord r{};
+    ASSERT_TRUE(trace.next(r));
+    EXPECT_EQ(r.gap, 3u);
+    EXPECT_FALSE(r.is_write);
+    EXPECT_EQ(r.line, 0x1au);
+    ASSERT_TRUE(trace.next(r));
+    EXPECT_EQ(r.gap, 1u);
+    EXPECT_TRUE(r.is_write);
+    EXPECT_EQ(r.line, 0xffu);
+    ASSERT_TRUE(trace.next(r));
+    EXPECT_FALSE(trace.next(r));
+}
+
+TEST(TraceFile, ZeroGapClampedToOne)
+{
+    VectorTrace trace = parseTrace("0 R 1\n");
+    TraceRecord r{};
+    ASSERT_TRUE(trace.next(r));
+    EXPECT_EQ(r.gap, 1u);
+}
+
+TEST(TraceFile, ResetReplays)
+{
+    VectorTrace trace = parseTrace("1 R 1\n2 W 2\n");
+    TraceRecord a{}, b{};
+    trace.next(a);
+    trace.reset();
+    trace.next(b);
+    EXPECT_EQ(a.line, b.line);
+}
+
+TEST(TraceFile, RoundTripThroughFormat)
+{
+    VectorTrace original = parseTrace("5 R abc\n9 W 10\n1 R 0\n");
+    const std::string text = formatTrace(original);
+    VectorTrace reparsed = parseTrace(text);
+    ASSERT_EQ(reparsed.size(), original.size());
+    TraceRecord a{}, b{};
+    while (original.next(a)) {
+        ASSERT_TRUE(reparsed.next(b));
+        EXPECT_EQ(a.gap, b.gap);
+        EXPECT_EQ(a.is_write, b.is_write);
+        EXPECT_EQ(a.line, b.line);
+    }
+}
+
+TEST(TraceFile, MalformedInputIsFatal)
+{
+    EXPECT_DEATH(parseTrace("garbage\n"), "expected");
+    EXPECT_DEATH(parseTrace("1 X 5\n"), "bad op");
+    EXPECT_DEATH(parseTrace("1 R zz\n"), "bad address");
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_DEATH(loadTraceFile("/nonexistent/trace.txt"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace psoram
