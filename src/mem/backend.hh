@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Storage backend abstraction: the seam between the ORAM protocol stack
+ * and the concrete memory model beneath it.
+ *
+ * Every component that used to hold a concrete NvmDevice reference —
+ * controllers, WPQs, PosMap regions, shadow stashes — talks to this
+ * interface instead. A backend provides three facets:
+ *
+ *   - a *functional* byte store (readBytes/writeBytes), sparse with
+ *     zero-fill semantics for never-written lines;
+ *   - a *timing* model (access/accessOne) that schedules line transfers
+ *     and returns completion cycles;
+ *   - *observability*: traffic counters, wear statistics, and a
+ *     snapshot/restore image used by the crash-injection framework.
+ *
+ * Implementations: NvmDevice (in-memory channel/bank model, the default)
+ * and FileBackedNvm (same model, with the image persisted to disk so
+ * crash recovery can be demonstrated across process restarts).
+ */
+
+#ifndef PSORAM_MEM_BACKEND_HH
+#define PSORAM_MEM_BACKEND_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace psoram {
+
+/** One 64-byte backend line. */
+using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
+
+/** Sparse functional contents: line address -> line bytes. */
+using MemoryImage = std::unordered_map<Addr, NvmLine>;
+
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** @{ Functional access (no timing). Reads of unwritten lines are 0. */
+    virtual void readBytes(Addr addr, std::uint8_t *out,
+                           std::size_t len) const = 0;
+    virtual void writeBytes(Addr addr, const std::uint8_t *in,
+                            std::size_t len) = 0;
+    /** @} */
+
+    /**
+     * Timing-only access: schedule @p len bytes starting at @p addr as
+     * 64-byte line transfers.
+     *
+     * @param earliest cycle the request arrives at the memory controller
+     * @return completion cycle of the last line transfer
+     */
+    virtual Cycle access(Addr addr, std::size_t len, bool is_write,
+                         Cycle earliest) = 0;
+
+    /**
+     * Timing-only access of exactly one transaction (one burst) at the
+     * line containing @p addr.
+     */
+    virtual Cycle accessOne(Addr addr, bool is_write, Cycle earliest) = 0;
+
+    /** @{ Functional + timing in one call. */
+    Cycle
+    readTimed(Addr addr, std::uint8_t *out, std::size_t len,
+              Cycle earliest)
+    {
+        readBytes(addr, out, len);
+        return access(addr, len, false, earliest);
+    }
+    Cycle
+    writeTimed(Addr addr, const std::uint8_t *in, std::size_t len,
+               Cycle earliest)
+    {
+        writeBytes(addr, in, len);
+        return access(addr, len, true, earliest);
+    }
+    /** @} */
+
+    /** Addressable capacity in bytes (bounds checking only). */
+    virtual std::uint64_t capacity() const = 0;
+
+    /** @{ Aggregate traffic statistics. */
+    virtual std::uint64_t totalReads() const = 0;
+    virtual std::uint64_t totalWrites() const = 0;
+    /** @} */
+
+    /** @{ Wear statistics (NVM lifetime proxy). */
+    virtual std::uint64_t distinctLinesWritten() const = 0;
+    virtual std::uint64_t maxLineWrites() const = 0;
+    virtual double meanLineWrites() const = 0;
+    /** @} */
+
+    virtual void resetStats() = 0;
+
+    /**
+     * @{ Snapshot / restore of the functional contents; the
+     * crash-injection framework uses this to model "persistent state
+     * survives, volatile state is lost".
+     */
+    virtual const MemoryImage &image() const = 0;
+    virtual void restoreImage(const MemoryImage &img) = 0;
+    /** @} */
+};
+
+} // namespace psoram
+
+#endif // PSORAM_MEM_BACKEND_HH

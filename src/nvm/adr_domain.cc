@@ -27,7 +27,7 @@ AdrDomain::end()
 }
 
 Cycle
-AdrDomain::drain(NvmDevice &device, Cycle earliest)
+AdrDomain::drain(MemoryBackend &device, Cycle earliest)
 {
     // In-order persistence without coalescing (§4.2.3): the metadata
     // entries drain strictly after the data blocks of their round.
@@ -36,7 +36,7 @@ AdrDomain::drain(NvmDevice &device, Cycle earliest)
 }
 
 std::size_t
-AdrDomain::crashFlush(NvmDevice &device)
+AdrDomain::crashFlush(MemoryBackend &device)
 {
     return data_wpq_.crashFlush(device) + posmap_wpq_.crashFlush(device);
 }

@@ -34,7 +34,7 @@ class AdrDomain
     void end();
 
     /** Drain both WPQs to @p device; returns last completion cycle. */
-    Cycle drain(NvmDevice &device, Cycle earliest);
+    Cycle drain(MemoryBackend &device, Cycle earliest);
 
     /**
      * Power-failure flush: committed rounds persist, uncommitted rounds
@@ -42,7 +42,7 @@ class AdrDomain
      *
      * @return entries that reached NVM
      */
-    std::size_t crashFlush(NvmDevice &device);
+    std::size_t crashFlush(MemoryBackend &device);
 
     Wpq &dataWpq() { return data_wpq_; }
     Wpq &posmapWpq() { return posmap_wpq_; }

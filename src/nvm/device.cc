@@ -39,7 +39,9 @@ NvmDevice::decode(Addr line_addr, unsigned &channel, unsigned &bank) const
 void
 NvmDevice::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
 {
-    if (addr + len > capacity_)
+    // Overflow-safe bounds check: `addr + len > capacity_` can wrap for
+    // addresses near the top of the 64-bit space.
+    if (addr > capacity_ || len > capacity_ - addr)
         PSORAM_PANIC("NVM read past capacity: addr=", addr, " len=", len);
     std::size_t off = 0;
     while (off < len) {
@@ -60,7 +62,7 @@ NvmDevice::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
 void
 NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
 {
-    if (addr + len > capacity_)
+    if (addr > capacity_ || len > capacity_ - addr)
         PSORAM_PANIC("NVM write past capacity: addr=", addr, " len=", len);
     std::size_t off = 0;
     while (off < len) {
@@ -101,22 +103,6 @@ NvmDevice::accessOne(Addr addr, bool is_write, Cycle earliest)
     unsigned channel, bank;
     decode(addr / kBlockDataBytes, channel, bank);
     return channels_[channel].access(bank, earliest, is_write);
-}
-
-Cycle
-NvmDevice::readTimed(Addr addr, std::uint8_t *out, std::size_t len,
-                     Cycle earliest)
-{
-    readBytes(addr, out, len);
-    return access(addr, len, false, earliest);
-}
-
-Cycle
-NvmDevice::writeTimed(Addr addr, const std::uint8_t *in, std::size_t len,
-                      Cycle earliest)
-{
-    writeBytes(addr, in, len);
-    return access(addr, len, true, earliest);
 }
 
 std::uint64_t

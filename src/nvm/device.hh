@@ -21,15 +21,13 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/backend.hh"
 #include "nvm/channel.hh"
 #include "nvm/timing.hh"
 
 namespace psoram {
 
-/** One 64-byte NVM line. */
-using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
-
-class NvmDevice
+class NvmDevice : public MemoryBackend
 {
   public:
     /**
@@ -42,8 +40,10 @@ class NvmDevice
               unsigned banks_per_channel, std::uint64_t capacity_bytes);
 
     /** @{ Functional access (no timing). Reads of unwritten lines are 0. */
-    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
-    void writeBytes(Addr addr, const std::uint8_t *in, std::size_t len);
+    void readBytes(Addr addr, std::uint8_t *out,
+                   std::size_t len) const override;
+    void writeBytes(Addr addr, const std::uint8_t *in,
+                    std::size_t len) override;
     /** @} */
 
     /**
@@ -53,7 +53,8 @@ class NvmDevice
      * @param earliest cycle the request arrives at the memory controller
      * @return completion cycle of the last line transfer
      */
-    Cycle access(Addr addr, std::size_t len, bool is_write, Cycle earliest);
+    Cycle access(Addr addr, std::size_t len, bool is_write,
+                 Cycle earliest) override;
 
     /**
      * Timing-only access of exactly one transaction (one burst) at the
@@ -61,42 +62,38 @@ class NvmDevice
      * a cache line (data + header + IV); the paper counts each block as
      * one read/write, which this models.
      */
-    Cycle accessOne(Addr addr, bool is_write, Cycle earliest);
-
-    /** Functional + timing in one call. */
-    Cycle readTimed(Addr addr, std::uint8_t *out, std::size_t len,
-                    Cycle earliest);
-    Cycle writeTimed(Addr addr, const std::uint8_t *in, std::size_t len,
-                     Cycle earliest);
+    Cycle accessOne(Addr addr, bool is_write, Cycle earliest) override;
 
     unsigned numChannels() const
     {
         return static_cast<unsigned>(channels_.size());
     }
-    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t capacity() const override { return capacity_; }
     const NvmTimingParams &timings() const { return params_; }
 
     /** @{ Aggregate traffic statistics across all channels. */
-    std::uint64_t totalReads() const;
-    std::uint64_t totalWrites() const;
+    std::uint64_t totalReads() const override;
+    std::uint64_t totalWrites() const override;
     /** @} */
 
     /** @{ Wear statistics (NVM lifetime proxy). */
-    std::uint64_t distinctLinesWritten() const { return wear_.size(); }
-    std::uint64_t maxLineWrites() const { return max_line_writes_; }
-    double meanLineWrites() const;
+    std::uint64_t distinctLinesWritten() const override
+    {
+        return wear_.size();
+    }
+    std::uint64_t maxLineWrites() const override
+    {
+        return max_line_writes_;
+    }
+    double meanLineWrites() const override;
     /** @} */
 
-    void resetStats();
+    void resetStats() override;
 
-    /**
-     * Snapshot / restore of the functional contents; the crash-injection
-     * framework uses this to model "persistent state survives, volatile
-     * state is lost".
-     */
-    using Image = std::unordered_map<Addr, NvmLine>;
-    const Image &image() const { return store_; }
-    void restoreImage(const Image &img) { store_ = img; }
+    /** Crash snapshot/restore (see MemoryBackend). */
+    using Image = MemoryImage;
+    const Image &image() const override { return store_; }
+    void restoreImage(const Image &img) override { store_ = img; }
 
   private:
     /** Decode a line address into (channel, bank). */

@@ -1,0 +1,108 @@
+#include "nvm/file_backed.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'N', 'V', 'M', '\0', '\0', '\1'};
+
+} // namespace
+
+FileBackedNvm::FileBackedNvm(const NvmTimingParams &params,
+                             unsigned num_channels,
+                             unsigned banks_per_channel,
+                             std::uint64_t capacity_bytes,
+                             std::string path)
+    : NvmDevice(params, num_channels, banks_per_channel, capacity_bytes),
+      path_(std::move(path))
+{
+    if (path_.empty())
+        PSORAM_FATAL("FileBackedNvm needs a backing file path");
+    loadFromFile();
+}
+
+FileBackedNvm::~FileBackedNvm()
+{
+    if (!discarded_)
+        persist();
+}
+
+void
+FileBackedNvm::loadFromFile()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return; // fresh image: first persist() creates the file
+
+    char magic[8] = {};
+    std::uint64_t count = 0;
+    in.read(magic, sizeof(magic));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        PSORAM_FATAL("corrupt NVM image file: ", path_);
+
+    MemoryImage img;
+    img.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr line = 0;
+        NvmLine data{};
+        in.read(reinterpret_cast<char *>(&line), sizeof(line));
+        in.read(reinterpret_cast<char *>(data.data()), data.size());
+        if (!in)
+            PSORAM_FATAL("truncated NVM image file: ", path_,
+                         " (record ", i, " of ", count, ")");
+        img.emplace(line, data);
+    }
+    restoreImage(img);
+    lines_loaded_ = count;
+}
+
+bool
+FileBackedNvm::persist()
+{
+    discarded_ = false;
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cannot write NVM image file: ", tmp);
+            return false;
+        }
+        const MemoryImage &img = image();
+        const std::uint64_t count = img.size();
+        out.write(kMagic, sizeof(kMagic));
+        out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+        for (const auto &[line, data] : img) {
+            out.write(reinterpret_cast<const char *>(&line),
+                      sizeof(line));
+            out.write(reinterpret_cast<const char *>(data.data()),
+                      data.size());
+        }
+        out.flush();
+        if (!out) {
+            warn("failed writing NVM image file: ", tmp);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        warn("cannot replace NVM image file: ", path_);
+        return false;
+    }
+    return true;
+}
+
+void
+FileBackedNvm::discardBackingFile()
+{
+    discarded_ = true;
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+}
+
+} // namespace psoram

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * File-backed NVM device: the channel/bank model of NvmDevice with the
+ * functional image persisted to a disk file, so crash recovery can be
+ * demonstrated across *process* restarts, not just controller rebuilds.
+ *
+ * The sparse image (64-byte lines keyed by line address) is serialized
+ * as a flat record file. persist() writes atomically (temp file +
+ * rename), modelling the ADR flush boundary: everything persisted
+ * before the "crash" survives, everything after does not. The
+ * destructor persists as a convenience for clean shutdowns.
+ *
+ * File format (little-endian, host byte order — the image is a local
+ * simulation artifact, not an interchange format):
+ *
+ *   [0..7]   magic "PSNVM\0\0\1"
+ *   [8..15]  line count N
+ *   N records of { u64 line_address, 64 bytes line data }
+ */
+
+#ifndef PSORAM_NVM_FILE_BACKED_HH
+#define PSORAM_NVM_FILE_BACKED_HH
+
+#include <string>
+
+#include "nvm/device.hh"
+
+namespace psoram {
+
+class FileBackedNvm : public NvmDevice
+{
+  public:
+    /**
+     * @param path backing file; loaded if it exists, created on the
+     *             first persist() otherwise
+     */
+    FileBackedNvm(const NvmTimingParams &params, unsigned num_channels,
+                  unsigned banks_per_channel, std::uint64_t capacity_bytes,
+                  std::string path);
+
+    /** Persists on clean shutdown (best effort; persist() to be sure). */
+    ~FileBackedNvm() override;
+
+    /**
+     * Write the current image to the backing file (atomic replace).
+     * @return false if the file could not be written
+     */
+    bool persist();
+
+    /** Discard the backing file (test cleanup / reset). */
+    void discardBackingFile();
+
+    const std::string &path() const { return path_; }
+
+    /** Lines restored from the backing file at construction. */
+    std::uint64_t linesLoaded() const { return lines_loaded_; }
+
+  private:
+    void loadFromFile();
+
+    std::string path_;
+    std::uint64_t lines_loaded_ = 0;
+    /** Set by discardBackingFile(); suppresses the destructor persist. */
+    bool discarded_ = false;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_FILE_BACKED_HH

@@ -47,7 +47,7 @@ Wpq::end()
 }
 
 Cycle
-Wpq::drainTo(NvmDevice &device, Cycle earliest)
+Wpq::drainTo(MemoryBackend &device, Cycle earliest)
 {
     if (open_)
         PSORAM_PANIC("WPQ '", name_, "': drain before end()");
@@ -67,7 +67,7 @@ Wpq::drainTo(NvmDevice &device, Cycle earliest)
 }
 
 std::size_t
-Wpq::crashFlush(NvmDevice &device)
+Wpq::crashFlush(MemoryBackend &device)
 {
     std::size_t flushed = 0;
     if (committed_) {

@@ -20,7 +20,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 
 namespace psoram {
 
@@ -58,7 +58,7 @@ class Wpq
      *
      * @return completion cycle of the last write
      */
-    Cycle drainTo(NvmDevice &device, Cycle earliest);
+    Cycle drainTo(MemoryBackend &device, Cycle earliest);
 
     /**
      * Power-failure semantics: committed entries are functionally written
@@ -66,7 +66,7 @@ class Wpq
      *
      * @return number of entries that reached the NVM
      */
-    std::size_t crashFlush(NvmDevice &device);
+    std::size_t crashFlush(MemoryBackend &device);
 
     bool open() const { return open_; }
     bool committed() const { return committed_; }

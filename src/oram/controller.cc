@@ -8,7 +8,7 @@
 namespace psoram {
 
 PathOramController::PathOramController(const PathOramParams &params,
-                                       NvmDevice &device)
+                                       MemoryBackend &device)
     : params_(params), device_(device), geo_(params.layout.geometry),
       posmap_(params.num_blocks, geo_.numLeaves(), params.seed),
       stash_(params.stash_capacity), codec_(params.key, params.cipher),

@@ -20,7 +20,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "crypto/aes128.hh"
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 #include "oram/block.hh"
 #include "oram/posmap.hh"
 #include "oram/stash.hh"
@@ -63,7 +63,7 @@ using PathObserver = std::function<void(PathId)>;
 class PathOramController
 {
   public:
-    PathOramController(const PathOramParams &params, NvmDevice &device);
+    PathOramController(const PathOramParams &params, MemoryBackend &device);
     virtual ~PathOramController() = default;
 
     /** Read block @p addr into @p out (64 bytes). */
@@ -111,7 +111,7 @@ class PathOramController
     std::vector<StashEntry> pickForBucket(PathId leaf, unsigned level);
 
     PathOramParams params_;
-    NvmDevice &device_;
+    MemoryBackend &device_;
     TreeGeometry geo_;
     PosMap posmap_;
     Stash stash_;

@@ -89,7 +89,7 @@ PersistentPosMap::encodeRecord(PathId path, std::uint32_t epoch)
 }
 
 PersistentPosMap::Entry
-PersistentPosMap::readFullEntry(const NvmDevice &device,
+PersistentPosMap::readFullEntry(const MemoryBackend &device,
                                 BlockAddr addr) const
 {
     std::uint8_t raw[kEntryBytes] = {};
@@ -103,13 +103,13 @@ PersistentPosMap::readFullEntry(const NvmDevice &device,
 }
 
 PathId
-PersistentPosMap::readEntry(const NvmDevice &device, BlockAddr addr) const
+PersistentPosMap::readEntry(const MemoryBackend &device, BlockAddr addr) const
 {
     return readFullEntry(device, addr).path;
 }
 
 void
-PersistentPosMap::writeEntry(NvmDevice &device, BlockAddr addr,
+PersistentPosMap::writeEntry(MemoryBackend &device, BlockAddr addr,
                              PathId path, std::uint32_t epoch) const
 {
     const auto record = encodeRecord(path, epoch);

@@ -21,7 +21,7 @@
 #include <unordered_map>
 
 #include "common/types.hh"
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 
 namespace psoram {
 
@@ -109,13 +109,13 @@ class PersistentPosMap
      * Read the persistent entry for @p addr from @p device;
      * never-written entries decode to the PRF initial path at epoch 0.
      */
-    Entry readFullEntry(const NvmDevice &device, BlockAddr addr) const;
+    Entry readFullEntry(const MemoryBackend &device, BlockAddr addr) const;
 
     /** Path-only convenience wrapper. */
-    PathId readEntry(const NvmDevice &device, BlockAddr addr) const;
+    PathId readEntry(const MemoryBackend &device, BlockAddr addr) const;
 
     /** Functional direct write (used by recovery tooling and tests). */
-    void writeEntry(NvmDevice &device, BlockAddr addr, PathId path,
+    void writeEntry(MemoryBackend &device, BlockAddr addr, PathId path,
                     std::uint32_t epoch = 1) const;
 
     Addr base() const { return base_; }

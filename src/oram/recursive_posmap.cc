@@ -7,7 +7,7 @@
 
 namespace psoram {
 
-PosMapTreeLevel::PosMapTreeLevel(const Params &params, NvmDevice &device,
+PosMapTreeLevel::PosMapTreeLevel(const Params &params, MemoryBackend &device,
                                  BlockCodec &codec, Rng &rng,
                                  PosResolver missing_resolver)
     : params_(params), device_(device), codec_(codec), rng_(rng),

@@ -31,7 +31,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 #include "oram/block.hh"
 #include "oram/posmap.hh"
 #include "oram/stash.hh"
@@ -93,7 +93,7 @@ class PosMapTreeLevel
     /** Timing notification for each slot read the level performs. */
     using ReadHook = std::function<void(Addr)>;
 
-    PosMapTreeLevel(const Params &params, NvmDevice &device,
+    PosMapTreeLevel(const Params &params, MemoryBackend &device,
                     BlockCodec &codec, Rng &rng,
                     PosResolver missing_resolver);
 
@@ -142,7 +142,7 @@ class PosMapTreeLevel
     static void pack(StashEntry &entry, const EntryWords &words);
 
     Params params_;
-    NvmDevice &device_;
+    MemoryBackend &device_;
     BlockCodec &codec_;
     Rng &rng_;
     TreeGeometry geo_;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * AccessContext: the per-access state threaded through the protocol
+ * phase components (Remapper -> PathLoader -> BackupPlanner -> Evictor).
+ *
+ * Each phase reads the fields earlier phases produced and fills in its
+ * own; the controller orchestrates the sequence and owns the context
+ * for exactly one access. Keeping the hand-off explicit (rather than
+ * controller member state) is what makes the phases independently
+ * testable and the orchestrator thin.
+ */
+
+#ifndef PSORAM_PSORAM_ACCESS_CONTEXT_HH
+#define PSORAM_PSORAM_ACCESS_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/controller.hh"
+#include "psoram/drainer.hh"
+
+namespace psoram {
+
+/** Classification of one slot read during the path load (step 3). */
+struct LoadedSlot
+{
+    unsigned level;
+    unsigned slot;
+    BlockAddr addr;      ///< kDummyBlockAddr when free/stale/dummy
+    bool is_backup_site; ///< slot where the target was found
+};
+
+struct AccessContext
+{
+    /** @{ Set by the orchestrator before any phase runs. */
+    BlockAddr addr = kDummyBlockAddr;
+    bool is_write = false;
+    Cycle start = 0; ///< memory-side clock when the access began
+    /** @} */
+
+    /** Running completion cycle; each phase advances it. */
+    Cycle t = 0;
+
+    /** @{ Produced by the Remapper (step 2). */
+    PathId leaf = kInvalidPath;     ///< committed path being accessed
+    PathId new_leaf = kInvalidPath; ///< staged remap target
+    /** PoM writes collected at step 2 that the Evictor must order
+     *  (count of bundle.posmap_writes filled by the Remapper). */
+    std::size_t pom_after_data = 0;
+    /** @} */
+
+    /** Produced by the PathLoader (step 3). */
+    std::vector<LoadedSlot> slots;
+
+    /** Assembled across phases, consumed by the Evictor (step 5). */
+    EvictionBundle bundle;
+
+    /** Per-access outcome returned to the caller. */
+    OramAccessInfo info;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_ACCESS_CONTEXT_HH

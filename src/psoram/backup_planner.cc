@@ -1,0 +1,33 @@
+#include "psoram/backup_planner.hh"
+
+namespace psoram {
+
+void
+BackupPlanner::plan(const AccessContext &ctx)
+{
+    if (!env_.usesBackups())
+        return;
+    // The target was found on the path (it is in the stash but was not
+    // there at step 1). Its loaded copy's slot becomes the backup site:
+    // the pre-access data returns there under the old path id.
+    const StashEntry *live = env_.stash.find(ctx.addr);
+    if (!live)
+        return;
+    bool found_on_path = false;
+    for (const LoadedSlot &s : ctx.slots)
+        if (s.addr == ctx.addr && !s.is_backup_site)
+            found_on_path = true;
+    if (!found_on_path)
+        return; // first touch: nothing committed to back up
+
+    StashEntry backup;
+    backup.addr = ctx.addr;
+    backup.path = ctx.leaf; // the old, still-committed path
+    backup.epoch = live->epoch;
+    backup.data = live->data;
+    backup.is_backup = true;
+    env_.stash.insert(backup);
+    ++env_.counters.backups;
+}
+
+} // namespace psoram

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * BackupPlanner: protocol step 4's backup action — plant a backup copy
+ * of the accessed block under its *old* path id (paper §4.2.1 step 4).
+ *
+ * The backup returns to the slot the block was loaded from during this
+ * access, so a crash that loses the volatile stash still finds the
+ * pre-access value under the still-committed old mapping.
+ */
+
+#ifndef PSORAM_PSORAM_BACKUP_PLANNER_HH
+#define PSORAM_PSORAM_BACKUP_PLANNER_HH
+
+#include "psoram/access_context.hh"
+#include "psoram/phase_env.hh"
+
+namespace psoram {
+
+class BackupPlanner
+{
+  public:
+    explicit BackupPlanner(PhaseEnv &env) : env_(env) {}
+
+    /**
+     * Insert the backup stash entry for ctx.addr if its live copy was
+     * loaded from the tree this access (first touches have nothing
+     * committed to back up). Only meaningful for designs that use
+     * backups (persistent, non-recursive).
+     */
+    void plan(const AccessContext &ctx);
+
+  private:
+    PhaseEnv &env_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_BACKUP_PLANNER_HH

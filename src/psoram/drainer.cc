@@ -12,7 +12,7 @@ Drainer::Drainer(std::size_t data_capacity, std::size_t posmap_capacity)
 }
 
 Cycle
-Drainer::persist(const EvictionBundle &bundle, NvmDevice &device,
+Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
                  Cycle earliest, const DrainCrashHook &hook)
 {
     std::size_t data_idx = 0;

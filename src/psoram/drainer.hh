@@ -71,7 +71,7 @@ class Drainer
      * @param earliest cycle the first round may begin draining
      * @return completion cycle of the last drain
      */
-    Cycle persist(const EvictionBundle &bundle, NvmDevice &device,
+    Cycle persist(const EvictionBundle &bundle, MemoryBackend &device,
                   Cycle earliest, const DrainCrashHook &hook);
 
     AdrDomain &domain() { return adr_; }

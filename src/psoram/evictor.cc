@@ -1,0 +1,380 @@
+#include "psoram/evictor.hh"
+
+#include <algorithm>
+
+#include "oram/controller.hh"
+
+namespace psoram {
+
+void
+Evictor::run(AccessContext &ctx)
+{
+    const BlockAddr addr = ctx.addr;
+    const PathId leaf = ctx.leaf;
+    const TreeGeometry &geo = env_.geo;
+    Stash &stash = env_.stash;
+    const unsigned levels = geo.levels();
+    const unsigned z = geo.bucket_slots;
+
+    // Placement plan: plan[level][slot].
+    std::vector<std::vector<PlainBlock>> plan(levels);
+    std::vector<std::vector<bool>> used(levels);
+    for (unsigned level = 0; level < levels; ++level) {
+        plan[level].assign(z, PlainBlock::dummy());
+        used[level].assign(z, false);
+    }
+
+    /** Record of which blocks were placed (for commit bookkeeping). */
+    struct Placed
+    {
+        BlockAddr addr;
+        PathId path;
+        std::uint32_t epoch;
+        std::array<std::uint8_t, kBlockDataBytes> data;
+        bool is_backup;
+        std::size_t write_index; // filled when writes are emitted
+        unsigned level, slot;
+    };
+    std::vector<Placed> placed;
+
+    const auto place = [&](const StashEntry &e, unsigned level,
+                           unsigned slot) {
+        plan[level][slot] = e.toBlock();
+        used[level][slot] = true;
+        placed.push_back(Placed{e.addr, e.path, e.epoch, e.data,
+                                e.is_backup, 0, level, slot});
+    };
+
+    // Non-recursive PS designs use *safe placement* so that multi-round
+    // (small-WPQ) evictions stay crash consistent. Recursive PS designs
+    // commit the whole eviction in one atomic bracket (see DESIGN.md),
+    // so they — like the non-persistent designs — can use classic
+    // greedy placement.
+    const bool safe_placement = env_.persistent() && !env_.recursive();
+
+    // prev_live[level][slot]: the slot held a live block before this
+    // eviction. Writes over such slots must commit after the writes
+    // that relocate their contents (emission group 2 below).
+    std::vector<std::vector<bool>> prev_live(levels);
+    for (unsigned level = 0; level < levels; ++level)
+        prev_live[level].assign(z, false);
+    for (const LoadedSlot &ls : ctx.slots)
+        if (ls.addr != kDummyBlockAddr)
+            prev_live[ls.level][ls.slot] = true;
+
+    if (safe_placement) {
+        // Pass 0: backup copies return to the very slot their block
+        // was loaded from (identity rewrite of the committed value).
+        for (const LoadedSlot &ls : ctx.slots) {
+            if (ls.addr == kDummyBlockAddr)
+                continue;
+            if (!ls.is_backup_site && ls.addr != addr)
+                continue;
+            StashEntry *backup = stash.findBackup(ls.addr);
+            if (!backup)
+                continue;
+            place(*backup, ls.level, ls.slot);
+            for (std::size_t i = 0; i < stash.size(); ++i) {
+                if (stash.at(i).is_backup &&
+                    stash.at(i).addr == ls.addr) {
+                    stash.removeAt(i);
+                    break;
+                }
+            }
+        }
+
+        // Pass A (sink): every live stash entry — loaded, carried and
+        // the target — may drop into a free slot that previously held a
+        // dummy or stale block (unconditionally overwrite-safe).
+        struct Cand
+        {
+            BlockAddr addr;
+            unsigned max_level;
+        };
+        std::vector<Cand> cands;
+        for (std::size_t i = 0; i < stash.size(); ++i) {
+            const StashEntry &e = stash.at(i);
+            if (e.is_backup)
+                continue;
+            cands.push_back(
+                Cand{e.addr, geo.commonLevel(e.path, leaf)});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand &a, const Cand &b) {
+                      return a.max_level > b.max_level;
+                  });
+        for (const Cand &cand : cands) {
+            StashEntry *e = stash.find(cand.addr);
+            bool done = false;
+            for (int level = static_cast<int>(cand.max_level);
+                 level >= 0 && !done; --level) {
+                for (unsigned s = 0; s < z; ++s) {
+                    if (used[level][s] || prev_live[level][s])
+                        continue;
+                    place(*e, static_cast<unsigned>(level), s);
+                    stash.remove(cand.addr);
+                    done = true;
+                    break;
+                }
+            }
+        }
+
+        // Pass B (identity): loaded blocks that did not sink rewrite
+        // their own slot.
+        for (const LoadedSlot &ls : ctx.slots) {
+            if (ls.addr == kDummyBlockAddr || ls.is_backup_site ||
+                ls.addr == addr || used[ls.level][ls.slot])
+                continue;
+            StashEntry *resident = stash.find(ls.addr);
+            if (!resident || env_.temp.get(ls.addr))
+                continue;
+            place(*resident, ls.level, ls.slot);
+            stash.remove(ls.addr);
+        }
+
+        // Pass C (vacated): remaining carried blocks may take slots
+        // vacated by blocks that sank in pass A — those writes are
+        // emitted in group 2, after the sunk copies are durable.
+        for (std::size_t i = 0; i < stash.size();) {
+            const StashEntry &e = stash.at(i);
+            if (e.is_backup) {
+                ++i;
+                continue;
+            }
+            const unsigned max_level = geo.commonLevel(e.path, leaf);
+            bool done = false;
+            for (int level = static_cast<int>(max_level);
+                 level >= 0 && !done; --level) {
+                for (unsigned s = 0; s < z; ++s) {
+                    if (used[level][s])
+                        continue;
+                    place(e, static_cast<unsigned>(level), s);
+                    done = true;
+                    break;
+                }
+            }
+            if (done)
+                stash.removeAt(i);
+            else
+                ++i;
+        }
+    } else {
+        // Classic greedy eviction, leaf-first (no crash guarantees).
+        for (int level = static_cast<int>(geo.height); level >= 0;
+             --level) {
+            for (unsigned s = 0; s < z; ++s) {
+                // Find the deepest-eligible stash entry for this slot.
+                std::size_t best = stash.size();
+                unsigned best_depth = 0;
+                for (std::size_t i = 0; i < stash.size(); ++i) {
+                    const StashEntry &e = stash.at(i);
+                    const unsigned common =
+                        geo.commonLevel(e.path, leaf);
+                    if (common >= static_cast<unsigned>(level) &&
+                        (best == stash.size() ||
+                         common > best_depth)) {
+                        best = i;
+                        best_depth = common;
+                    }
+                }
+                if (best == stash.size())
+                    break;
+                place(stash.at(best), static_cast<unsigned>(level), s);
+                stash.removeAt(best);
+            }
+        }
+    }
+
+    // Blocks that found no slot stay in the (volatile) stash until a
+    // later eviction; their durable copy is the backup (non-recursive)
+    // or the shadow region (recursive).
+    env_.counters.unplaced_carried += stash.liveSize();
+
+    // Emit the full re-encrypted path. With safe placement the writes
+    // go out in two groups: first every slot that previously held a
+    // dummy/stale block (unconditionally safe), then the slots that
+    // held live blocks (identity rewrites, backup sites, and slots
+    // vacated by group-1 relocations). The drainer preserves push order
+    // across WPQ rounds, so any committed prefix is recoverable.
+    std::vector<WpqEntry> data_writes;
+    data_writes.reserve(geo.blocksPerPath());
+    const auto emitGroup = [&](bool live_group) {
+        for (unsigned level = 0; level < levels; ++level) {
+            const BucketId bucket = geo.bucketAt(leaf, level);
+            for (unsigned s = 0; s < z; ++s) {
+                if (safe_placement &&
+                    prev_live[level][s] != live_group)
+                    continue;
+                WpqEntry write;
+                write.addr = env_.params.data_layout.slotAddr(bucket, s);
+                const SlotBytes slot_bytes =
+                    env_.codec.encode(plan[level][s]);
+                write.data.assign(slot_bytes.begin(),
+                                  slot_bytes.end());
+                for (Placed &p : placed)
+                    if (p.level == level && p.slot == s)
+                        p.write_index = data_writes.size() + 1;
+                data_writes.push_back(std::move(write));
+            }
+        }
+    };
+    emitGroup(false);
+    if (safe_placement)
+        emitGroup(true);
+
+    if (!env_.persistent()) {
+        // Direct (non-atomic) write-back; FullNVM reads each evicted
+        // block out of its on-chip NVM stash first.
+        Cycle issue =
+            ctx.t + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle;
+        if (env_.onchip) {
+            // FullNVM: the eviction candidates stream out of the
+            // on-chip NVM stash first (bank-pipelined phase).
+            Cycle read_phase = issue;
+            for (std::size_t i = 0; i < data_writes.size(); ++i)
+                read_phase = std::max(read_phase,
+                                      env_.onChipRead(issue));
+            issue = read_phase;
+        }
+        Cycle proc = issue;
+        Cycle done = issue;
+        std::size_t count = 0;
+        for (const WpqEntry &write : data_writes) {
+            proc += env_.params.controller_block_cycles;
+            env_.device.writeBytes(write.addr, write.data.data(),
+                                   write.data.size());
+            done = std::max(done, env_.device.accessOne(write.addr,
+                                                        true, proc));
+            if (++count == data_writes.size() / 2)
+                env_.crashCheck(CrashSite::DuringDirectEviction);
+        }
+        ctx.t = done;
+        return;
+    }
+
+    // PS designs: assemble the bundle and run the atomic WPQ protocol.
+    EvictionBundle &bundle = ctx.bundle;
+    bundle.data_writes = std::move(data_writes);
+
+    // Find where the accessed block became durable in this bundle: its
+    // placed data slot, or the shadow region (recursive designs).
+    std::size_t target_durable_at = 0;
+    for (const Placed &p : placed)
+        if (p.addr == addr && !p.is_backup)
+            target_durable_at = p.write_index;
+
+    if (!env_.recursive()) {
+        if (env_.params.design.persist == PersistMode::DirtyOnly) {
+            // Step 5-A: only dirty temporary-PosMap entries of blocks
+            // that return to the tree in this round are persisted.
+            for (const Placed &p : placed) {
+                if (p.is_backup)
+                    continue;
+                const auto pending = env_.temp.get(p.addr);
+                if (!pending)
+                    continue;
+                PosmapWrite pw;
+                pw.after_data = p.write_index;
+                pw.entry.addr =
+                    env_.persistent_posmap.entryAddr(p.addr);
+                const auto record = PersistentPosMap::encodeRecord(
+                    *pending, p.epoch);
+                pw.entry.data.assign(record.begin(), record.end());
+                bundle.posmap_writes.push_back(std::move(pw));
+            }
+        } else { // NaiveAll
+            // One metadata write per path slot, real or dummy.
+            for (std::size_t i = 0; i < bundle.data_writes.size();
+                 ++i) {
+                PosmapWrite pw;
+                pw.after_data = i + 1;
+                bool real = false;
+                for (const Placed &p : placed) {
+                    if (p.is_backup || p.write_index != i + 1)
+                        continue;
+                    const auto pending = env_.temp.get(p.addr);
+                    const PathId path =
+                        pending ? *pending : p.path;
+                    pw.entry.addr =
+                        env_.persistent_posmap.entryAddr(p.addr);
+                    const auto record = PersistentPosMap::encodeRecord(
+                        path, p.epoch);
+                    pw.entry.data.assign(record.begin(), record.end());
+                    real = true;
+                    break;
+                }
+                if (!real) {
+                    // Dummy slot: a scratch metadata write (the Naive
+                    // design persists every entry indiscriminately).
+                    pw.entry.addr = env_.params.naive_scratch_base +
+                                    (i % geo.blocksPerPath()) *
+                                        kBlockDataBytes;
+                    pw.entry.data.resize(
+                        PersistentPosMap::kEntryBytes);
+                }
+                bundle.posmap_writes.push_back(std::move(pw));
+            }
+        }
+    } else {
+        // Recursive: the PoM writes collected at step 2 must not
+        // commit before the accessed block is durable.
+        std::vector<PosmapWrite> pom_writes(
+            bundle.posmap_writes.begin(),
+            bundle.posmap_writes.begin() +
+                static_cast<std::ptrdiff_t>(ctx.pom_after_data));
+        bundle.posmap_writes.clear();
+
+        // Shadow the stash residues (data + PoM) through the data WPQ.
+        for (auto &entry :
+             env_.shadow_data->snapshotWrites(stash, env_.codec))
+            bundle.data_writes.push_back(std::move(entry));
+        for (auto &entry : env_.shadow_pom->snapshotWrites(
+                 env_.pom->stash(), env_.codec))
+            bundle.data_writes.push_back(std::move(entry));
+
+        if (target_durable_at == 0) {
+            // Target not placed on the tree: it is in the stash, hence
+            // inside the shadow snapshot just appended. Constrain the
+            // PoM metadata to commit after the whole snapshot.
+            target_durable_at = bundle.data_writes.size();
+        }
+        for (PosmapWrite &pw : pom_writes) {
+            pw.after_data = target_durable_at;
+            bundle.posmap_writes.push_back(std::move(pw));
+        }
+    }
+
+    // Step 5-B/5-C: one (or more) atomic WPQ rounds. Streaming the
+    // eviction into the persistence domain costs ~2 entries per NVM
+    // cycle on the controller's internal port.
+    const Cycle issue =
+        ctx.t + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle +
+        (bundle.data_writes.size() + bundle.posmap_writes.size()) / 2;
+    const Cycle done = env_.drainer->persist(
+        bundle, env_.device, issue,
+        [this](CrashSite site) { env_.crashCheck(site); });
+
+    // Post-commit bookkeeping: merge committed remaps into the main
+    // PosMap (functionally already durable via the drained region
+    // writes) and report durable data to the test oracle.
+    for (const Placed &p : placed) {
+        if (p.is_backup)
+            continue;
+        if (!env_.recursive()) {
+            if (const auto pending = env_.temp.get(p.addr))
+                env_.temp.erase(p.addr);
+        }
+        env_.notifyCommit(p.addr, p.data);
+    }
+    if (env_.recursive()) {
+        // Shadowed stash blocks are durable too.
+        for (std::size_t i = 0; i < stash.size(); ++i) {
+            const StashEntry &e = stash.at(i);
+            if (!e.is_backup)
+                env_.notifyCommit(e.addr, e.data);
+        }
+    }
+    ctx.t = done;
+}
+
+} // namespace psoram

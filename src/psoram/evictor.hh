@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Evictor: protocol step 5 — PS-ORAM eviction (paper §4.2.1/§4.2.3).
+ *
+ * Non-recursive persistent designs use *safe placement*: backups return
+ * to their load slot (identity rewrite of the committed value), stash
+ * blocks only fill previously-dummy slots, and writes are emitted
+ * dummy-slots-first — so any committed prefix of WPQ rounds leaves the
+ * tree recoverable. Recursive designs commit the whole eviction (data
+ * path + PoM path + stash shadows) in one atomic bracket; non-persistent
+ * designs do a classic greedy write-back with no crash guarantees.
+ */
+
+#ifndef PSORAM_PSORAM_EVICTOR_HH
+#define PSORAM_PSORAM_EVICTOR_HH
+
+#include "psoram/access_context.hh"
+#include "psoram/phase_env.hh"
+
+namespace psoram {
+
+class Evictor
+{
+  public:
+    explicit Evictor(PhaseEnv &env) : env_(env) {}
+
+    /**
+     * Place stash blocks onto ctx.leaf's path, emit the re-encrypted
+     * path (and metadata) into ctx.bundle, and persist it — atomically
+     * through the WPQ drainer for the PS designs, directly otherwise.
+     * Advances ctx.t to the completion cycle and notifies the commit
+     * observer of every block that became durable.
+     */
+    void run(AccessContext &ctx);
+
+  private:
+    PhaseEnv &env_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_EVICTOR_HH

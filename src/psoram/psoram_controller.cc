@@ -27,7 +27,7 @@ derivePomHeight(std::uint64_t num_blocks, unsigned bucket_slots)
 } // namespace
 
 PsOramController::PsOramController(const PsOramParams &params,
-                                   NvmDevice &device)
+                                   MemoryBackend &device)
     : params_(params), device_(device), geo_(params.data_layout.geometry),
       codec_(params.key, params.cipher),
       rng_(params.seed ^ 0x5ca1ab1edeadbeefULL),
@@ -93,6 +93,19 @@ PsOramController::PsOramController(const PsOramParams &params,
         onchip_ = std::make_unique<NvmDevice>(
             tech, 1, params_.onchip_banks, 16ULL << 20);
     }
+
+    // Wire the phase components over the assembled subsystems.
+    env_ = std::make_unique<PhaseEnv>(PhaseEnv{
+        params_, geo_, device_, codec_, rng_, stash_, temp_,
+        volatile_posmap_, persistent_posmap_, counters_, pom_.get(),
+        shadow_data_.get(), shadow_pom_.get(), pom_pos_region_.get(),
+        drainer_.get(), onchip_.get(),
+        [this](CrashSite site) { maybeCrash(site); }, &commit_observer_,
+        0});
+    remapper_ = std::make_unique<Remapper>(*env_);
+    loader_ = std::make_unique<PathLoader>(*env_);
+    backup_planner_ = std::make_unique<BackupPlanner>(*env_);
+    evictor_ = std::make_unique<Evictor>(*env_);
 }
 
 PsOramController::~PsOramController() = default;
@@ -120,48 +133,7 @@ PsOramController::maybeCrash(CrashSite site)
 PathId
 PsOramController::committedPath(BlockAddr addr) const
 {
-    if (recursive()) {
-        // For recursive designs the PosMap entry is written through at
-        // access time; the effective value is the committed one up to
-        // the in-flight bracket. Resolve via the PoM level.
-        const std::uint64_t b = addr / kEntriesPerPosBlock;
-        const unsigned offset =
-            static_cast<unsigned>(addr % kEntriesPerPosBlock);
-        std::uint32_t word = 0;
-        if (const StashEntry *entry = pom_->stash().find(b)) {
-            std::memcpy(&word,
-                        entry->data.data() + offset * sizeof(word),
-                        sizeof(word));
-        } else {
-            // Walk the block's path in the NVM image.
-            const PathId pos = pom_->blockPosition(b);
-            const TreeGeometry &pg = pom_->params().layout.geometry;
-            for (unsigned level = 0; level <= pg.height && word == 0;
-                 ++level) {
-                const BucketId bucket = pg.bucketAt(pos, level);
-                for (unsigned s = 0; s < pg.bucket_slots; ++s) {
-                    SlotBytes raw{};
-                    device_.readBytes(
-                        pom_->params().layout.slotAddr(bucket, s),
-                        raw.data(), kSlotBytes);
-                    const PlainBlock block = codec_.decode(raw);
-                    if (!block.isDummy() && block.addr == b) {
-                        std::memcpy(
-                            &word,
-                            block.data.data() + offset * sizeof(word),
-                            sizeof(word));
-                        break;
-                    }
-                }
-            }
-        }
-        if (word & kPosEntryValid)
-            return static_cast<PathId>(word & ~kPosEntryValid);
-        return initialPath(params_.seed, addr, geo_.numLeaves());
-    }
-    if (persistent())
-        return persistent_posmap_.readEntry(device_, addr);
-    return volatile_posmap_.get(addr);
+    return env_->committedPath(addr);
 }
 
 PathId
@@ -170,23 +142,6 @@ PsOramController::effectivePath(BlockAddr addr) const
     if (const auto pending = temp_.get(addr))
         return *pending;
     return committedPath(addr);
-}
-
-Cycle
-PsOramController::onChipWrite(Cycle earliest)
-{
-    // Round-robin the on-chip buffer's lines to exercise its banks.
-    static constexpr Addr kStride = kBlockDataBytes;
-    onchip_clock_skew_ = (onchip_clock_skew_ + kStride) & 0xffff;
-    return onchip_->accessOne(onchip_clock_skew_, true, earliest);
-}
-
-Cycle
-PsOramController::onChipRead(Cycle earliest)
-{
-    static constexpr Addr kStride = kBlockDataBytes;
-    onchip_clock_skew_ = (onchip_clock_skew_ + kStride) & 0xffff;
-    return onchip_->accessOne(onchip_clock_skew_, false, earliest);
 }
 
 OramAccessInfo
@@ -198,15 +153,15 @@ PsOramController::access(BlockAddr addr, bool is_write,
         PSORAM_PANIC("ORAM access beyond logical capacity: ", addr);
     maybeCrash(CrashSite::BetweenAccesses);
     ++accesses_;
-    OramAccessInfo info;
 
     // ---- Step 1: check stash. ----
     if (StashEntry *hit = stash_.find(addr)) {
+        OramAccessInfo info;
         Cycle t = now_;
         if (onchip_) {
-            t = onChipRead(t);
+            t = env_->onChipRead(t);
             if (is_write)
-                t = onChipWrite(t);
+                t = env_->onChipWrite(t);
             info.nvm_cycles = t - now_;
             now_ = t;
         }
@@ -214,29 +169,26 @@ PsOramController::access(BlockAddr addr, bool is_write,
             std::memcpy(hit->data.data(), write_in, kBlockDataBytes);
         else
             std::memcpy(read_out, hit->data.data(), kBlockDataBytes);
-        ++stash_hits_;
+        ++counters_.stash_hits;
         info.stash_hit = true;
         stash_.sampleOccupancy();
         return info;
     }
 
-    const Cycle start = now_;
-    Cycle t = start;
-    EvictionBundle bundle;
-    std::size_t pom_after_data = 0;
+    AccessContext ctx;
+    ctx.addr = addr;
+    ctx.is_write = is_write;
+    ctx.start = ctx.t = now_;
 
     // ---- Step 2: access PosMap and backup the label. ----
-    PathId new_leaf = kInvalidPath;
-    const PathId leaf = stepRemap(addr, new_leaf, t, bundle,
-                                  pom_after_data);
-    info.leaf = leaf;
+    remapper_->run(ctx);
+    ctx.info.leaf = ctx.leaf;
     if (observer_)
-        observer_(leaf);
+        observer_(ctx.leaf);
     maybeCrash(CrashSite::AfterRemap);
 
     // ---- Step 3: load path. ----
-    std::vector<LoadedSlot> slots;
-    t = stepLoadPath(addr, leaf, t, slots);
+    loader_->run(ctx);
 
     // ---- Step 4: update stash and backup the data block. ----
     StashEntry *entry = stash_.find(addr);
@@ -244,16 +196,16 @@ PsOramController::access(BlockAddr addr, bool is_write,
         // First touch: materialize an all-zero block (lazy tree init).
         StashEntry fresh;
         fresh.addr = addr;
-        fresh.path = leaf;
-        if (persistent() && !recursive())
+        fresh.path = ctx.leaf;
+        if (usesBackups())
             fresh.epoch =
                 persistent_posmap_.readFullEntry(device_, addr).epoch;
         stash_.insert(fresh);
         entry = stash_.find(addr);
-    } else if (usesBackups()) {
-        stepBackup(addr, leaf, new_leaf, slots);
+    } else {
+        backup_planner_->plan(ctx);
     }
-    entry->path = new_leaf;
+    entry->path = ctx.new_leaf;
     ++entry->epoch; // the re-label consumes one remap epoch
     if (is_write)
         std::memcpy(entry->data.data(), write_in, kBlockDataBytes);
@@ -262,617 +214,12 @@ PsOramController::access(BlockAddr addr, bool is_write,
     maybeCrash(CrashSite::AfterStashUpdate);
 
     // ---- Step 5: PS-ORAM eviction. ----
-    t = stepEvict(addr, leaf, t, slots, bundle, pom_after_data);
+    evictor_->run(ctx);
 
-    now_ = std::max(t, start);
-    info.nvm_cycles = now_ - start;
+    now_ = std::max(ctx.t, ctx.start);
+    ctx.info.nvm_cycles = now_ - ctx.start;
     stash_.sampleOccupancy();
-    return info;
-}
-
-PathId
-PsOramController::stepRemap(BlockAddr addr, PathId &new_leaf, Cycle &t,
-                            EvictionBundle &bundle,
-                            std::size_t &pom_after_data)
-{
-    new_leaf = rng_.nextPath(geo_.numLeaves());
-
-    if (!recursive()) {
-        PathId leaf;
-        if (persistent()) {
-            leaf = committedPath(addr);
-            // Remap to a *different* leaf: if the new label equaled the
-            // old one, the backup block and the re-labeled live block
-            // would carry identical header paths and the staleness rule
-            // (footnote 1) could no longer tell them apart.
-            while (new_leaf == leaf && geo_.numLeaves() > 1)
-                new_leaf = rng_.nextPath(geo_.numLeaves());
-            // Stage the remap; the main PosMap keeps the old mapping
-            // until the block's eviction round commits.
-            if (temp_.full())
-                ++forced_merges_;
-            temp_.put(addr, new_leaf);
-        } else {
-            leaf = volatile_posmap_.get(addr);
-            volatile_posmap_.set(addr, new_leaf);
-            if (onchip_) {
-                // FullNVM: the PosMap lives in on-chip NVM.
-                t = onChipRead(t);
-                t = onChipWrite(t);
-            }
-        }
-        return leaf;
-    }
-
-    // Recursive: one PosMap ORAM access, write-through with the new
-    // label (the recursive baseline's inherent persistence).
-    Cycle read_chain = t;
-    const auto read_hook = [&](Addr a) {
-        read_chain = std::max(
-            device_.accessOne(a, false, t),
-            read_chain + params_.controller_block_cycles);
-    };
-    const std::uint32_t new_word =
-        PersistentPosMap::encodeEntry(new_leaf);
-    PosMapTreeLevel::AccessOutcome outcome =
-        pom_->accessEntry(addr, new_word, read_hook);
-    t = read_chain;
-
-    if (persistent()) {
-        // Rcr-PS-ORAM: the PoM path write joins the atomic bracket.
-        // Its ordering constraint (not before the data/shadow write of
-        // the accessed block) is filled in by stepEvict.
-        for (const auto &write : outcome.writes) {
-            PosmapWrite pw;
-            pw.entry.addr = write.addr;
-            pw.entry.data.assign(write.data.begin(), write.data.end());
-            bundle.posmap_writes.push_back(std::move(pw));
-        }
-        // Position entries for dirty entry blocks that returned to the
-        // tree in this eviction.
-        for (const auto &[idx, pos] : outcome.placed) {
-            if (!pom_->isPositionDirty(idx))
-                continue;
-            PosmapWrite pw;
-            pw.entry.addr = pom_pos_region_->entryAddr(idx);
-            const auto record =
-                PersistentPosMap::encodeRecord(pos, 0);
-            pw.entry.data.assign(record.begin(), record.end());
-            bundle.posmap_writes.push_back(std::move(pw));
-            pom_->clearPositionDirty(idx);
-        }
-        pom_after_data = bundle.posmap_writes.size();
-    } else {
-        // Rcr-Baseline: direct, non-atomic writes to the PoM tree.
-        Cycle wdone = t;
-        for (const auto &write : outcome.writes) {
-            device_.writeBytes(write.addr, write.data.data(),
-                               write.data.size());
-            wdone = std::max(wdone,
-                             device_.accessOne(write.addr, true, t));
-        }
-        t = wdone;
-    }
-
-    const std::uint32_t old_word = outcome.old_word;
-    if (old_word & kPosEntryValid)
-        return static_cast<PathId>(old_word & ~kPosEntryValid);
-    return initialPath(params_.seed, addr, geo_.numLeaves());
-}
-
-void
-PsOramController::classifyLoaded(const PlainBlock &block,
-                                 BlockAddr target, PathId leaf,
-                                 LoadedSlot &slot_info)
-{
-    slot_info.addr = kDummyBlockAddr;
-    slot_info.is_backup_site = false;
-    if (block.isDummy())
-        return;
-
-    if (recursive()) {
-        // Recursive designs never leave stale copies behind (the whole
-        // path is rewritten each eviction and no backups are planted);
-        // dedupe against the stash is sufficient.
-        if (stash_.find(block.addr))
-            return;
-        StashEntry entry;
-        entry.addr = block.addr;
-        entry.path = block.path;
-        entry.data = block.data;
-        stash_.insert(entry);
-        slot_info.addr = block.addr;
-        return;
-    }
-
-    const PersistentPosMap::Entry committed = persistent()
-        ? persistent_posmap_.readFullEntry(device_, block.addr)
-        : PersistentPosMap::Entry{volatile_posmap_.get(block.addr), 0};
-    const bool matches_committed = persistent()
-        ? (block.path == committed.path &&
-           block.epoch == committed.epoch)
-        : block.path == committed.path;
-
-    if (stash_.find(block.addr) != nullptr) {
-        if (usesBackups() && matches_committed) {
-            // The stash holds a newer (dirty) copy; this tree copy is
-            // the block's last committed value. Keep it circulating as
-            // a backup so a crash that loses the stash can recover it
-            // (generalized form of the paper's step-4 backup).
-            StashEntry backup;
-            backup.addr = block.addr;
-            backup.path = block.path;
-            backup.epoch = block.epoch;
-            backup.data = block.data;
-            backup.is_backup = true;
-            stash_.insert(backup);
-            ++backups_;
-            slot_info.addr = block.addr;
-            slot_info.is_backup_site = true;
-            return;
-        }
-        ++stale_dropped_;
-        return;
-    }
-
-    // A live copy must match the committed PosMap record (path AND
-    // remap epoch). Exception: in the non-persistent designs the PosMap
-    // was already overwritten with the new label at step 2, so the
-    // genuine target copy still carries the path being loaded.
-    const bool is_live = (!persistent() && block.addr == target)
-        ? block.path == leaf
-        : matches_committed;
-    if (!is_live) {
-        // An invalidated backup or an old copy: treat as dummy
-        // (paper footnote 1).
-        ++stale_dropped_;
-        return;
-    }
-
-    StashEntry entry;
-    entry.addr = block.addr;
-    entry.path = block.path;
-    entry.epoch = block.epoch;
-    entry.data = block.data;
-    stash_.insert(entry);
-    slot_info.addr = block.addr;
-}
-
-Cycle
-PsOramController::stepLoadPath(BlockAddr addr, PathId leaf, Cycle start,
-                               std::vector<LoadedSlot> &slots)
-{
-    const unsigned total = geo_.blocksPerPath();
-    slots.reserve(total);
-    Cycle proc = start;
-    Cycle onchip_done = start;
-    unsigned count = 0;
-
-    for (unsigned level = 0; level <= geo_.height; ++level) {
-        const BucketId bucket = geo_.bucketAt(leaf, level);
-        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
-            const Addr slot_addr =
-                params_.data_layout.slotAddr(bucket, s);
-            SlotBytes raw{};
-            device_.readBytes(slot_addr, raw.data(), kSlotBytes);
-            const Cycle rd = device_.accessOne(slot_addr, false, start);
-            proc = std::max(rd, proc) +
-                   params_.controller_block_cycles;
-
-            LoadedSlot slot_info{level, s, kDummyBlockAddr, false};
-            classifyLoaded(codec_.decode(raw), addr, leaf, slot_info);
-            slots.push_back(slot_info);
-
-            if (++count == total / 2)
-                maybeCrash(CrashSite::DuringLoad);
-        }
-    }
-    if (onchip_) {
-        // FullNVM: every loaded block is written into the on-chip NVM
-        // stash. The buffer's banks pipeline among themselves, but the
-        // fill phase serializes against the path transfer (the single
-        // controller port), which is what makes the FullNVM designs
-        // pay close to one extra NVM pass per access (§5.2.1 a).
-        onchip_done = proc;
-        for (unsigned i = 0; i < total; ++i)
-            onchip_done = std::max(onchip_done, onChipWrite(proc));
-        proc = onchip_done;
-    }
-    return proc + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle;
-}
-
-void
-PsOramController::stepBackup(BlockAddr addr, PathId leaf, PathId new_leaf,
-                             const std::vector<LoadedSlot> &slots)
-{
-    (void)new_leaf;
-    // The target was found on the path (it is in the stash but was not
-    // there at step 1). Its loaded copy's slot becomes the backup site:
-    // the pre-access data returns there under the old path id.
-    const StashEntry *live = stash_.find(addr);
-    if (!live)
-        return;
-    bool found_on_path = false;
-    for (const LoadedSlot &s : slots)
-        if (s.addr == addr && !s.is_backup_site)
-            found_on_path = true;
-    if (!found_on_path)
-        return; // first touch: nothing committed to back up
-
-    StashEntry backup;
-    backup.addr = addr;
-    backup.path = leaf; // the old, still-committed path
-    backup.epoch = live->epoch;
-    backup.data = live->data;
-    backup.is_backup = true;
-    stash_.insert(backup);
-    ++backups_;
-}
-
-Cycle
-PsOramController::stepEvict(BlockAddr addr, PathId leaf, Cycle t,
-                            std::vector<LoadedSlot> &slots,
-                            EvictionBundle &bundle,
-                            std::size_t pom_after_data)
-{
-    const unsigned levels = geo_.levels();
-    const unsigned z = geo_.bucket_slots;
-
-    // Placement plan: plan[level][slot].
-    std::vector<std::vector<PlainBlock>> plan(levels);
-    std::vector<std::vector<bool>> used(levels);
-    for (unsigned level = 0; level < levels; ++level) {
-        plan[level].assign(z, PlainBlock::dummy());
-        used[level].assign(z, false);
-    }
-
-    /** Record of which blocks were placed (for commit bookkeeping). */
-    struct Placed
-    {
-        BlockAddr addr;
-        PathId path;
-        std::uint32_t epoch;
-        std::array<std::uint8_t, kBlockDataBytes> data;
-        bool is_backup;
-        std::size_t write_index; // filled when writes are emitted
-        unsigned level, slot;
-    };
-    std::vector<Placed> placed;
-
-    const auto place = [&](const StashEntry &e, unsigned level,
-                           unsigned slot) {
-        plan[level][slot] = e.toBlock();
-        used[level][slot] = true;
-        placed.push_back(Placed{e.addr, e.path, e.epoch, e.data,
-                                e.is_backup, 0, level, slot});
-    };
-
-    // Non-recursive PS designs use *safe placement* so that multi-round
-    // (small-WPQ) evictions stay crash consistent. Recursive PS designs
-    // commit the whole eviction in one atomic bracket (see DESIGN.md),
-    // so they — like the non-persistent designs — can use classic
-    // greedy placement.
-    const bool safe_placement = persistent() && !recursive();
-
-    // prev_live[level][slot]: the slot held a live block before this
-    // eviction. Writes over such slots must commit after the writes
-    // that relocate their contents (emission group 2 below).
-    std::vector<std::vector<bool>> prev_live(levels);
-    for (unsigned level = 0; level < levels; ++level)
-        prev_live[level].assign(z, false);
-    for (const LoadedSlot &ls : slots)
-        if (ls.addr != kDummyBlockAddr)
-            prev_live[ls.level][ls.slot] = true;
-
-    if (safe_placement) {
-        // Pass 0: backup copies return to the very slot their block
-        // was loaded from (identity rewrite of the committed value).
-        for (const LoadedSlot &ls : slots) {
-            if (ls.addr == kDummyBlockAddr)
-                continue;
-            if (!ls.is_backup_site && ls.addr != addr)
-                continue;
-            StashEntry *backup = stash_.findBackup(ls.addr);
-            if (!backup)
-                continue;
-            place(*backup, ls.level, ls.slot);
-            for (std::size_t i = 0; i < stash_.size(); ++i) {
-                if (stash_.at(i).is_backup &&
-                    stash_.at(i).addr == ls.addr) {
-                    stash_.removeAt(i);
-                    break;
-                }
-            }
-        }
-
-        // Pass A (sink): every live stash entry — loaded, carried and
-        // the target — may drop into a free slot that previously held a
-        // dummy or stale block (unconditionally overwrite-safe).
-        struct Cand
-        {
-            BlockAddr addr;
-            unsigned max_level;
-        };
-        std::vector<Cand> cands;
-        for (std::size_t i = 0; i < stash_.size(); ++i) {
-            const StashEntry &e = stash_.at(i);
-            if (e.is_backup)
-                continue;
-            cands.push_back(
-                Cand{e.addr, geo_.commonLevel(e.path, leaf)});
-        }
-        std::sort(cands.begin(), cands.end(),
-                  [](const Cand &a, const Cand &b) {
-                      return a.max_level > b.max_level;
-                  });
-        for (const Cand &cand : cands) {
-            StashEntry *e = stash_.find(cand.addr);
-            bool done = false;
-            for (int level = static_cast<int>(cand.max_level);
-                 level >= 0 && !done; --level) {
-                for (unsigned s = 0; s < z; ++s) {
-                    if (used[level][s] || prev_live[level][s])
-                        continue;
-                    place(*e, static_cast<unsigned>(level), s);
-                    stash_.remove(cand.addr);
-                    done = true;
-                    break;
-                }
-            }
-        }
-
-        // Pass B (identity): loaded blocks that did not sink rewrite
-        // their own slot.
-        for (const LoadedSlot &ls : slots) {
-            if (ls.addr == kDummyBlockAddr || ls.is_backup_site ||
-                ls.addr == addr || used[ls.level][ls.slot])
-                continue;
-            StashEntry *resident = stash_.find(ls.addr);
-            if (!resident || temp_.get(ls.addr))
-                continue;
-            place(*resident, ls.level, ls.slot);
-            stash_.remove(ls.addr);
-        }
-
-        // Pass C (vacated): remaining carried blocks may take slots
-        // vacated by blocks that sank in pass A — those writes are
-        // emitted in group 2, after the sunk copies are durable.
-        for (std::size_t i = 0; i < stash_.size();) {
-            const StashEntry &e = stash_.at(i);
-            if (e.is_backup) {
-                ++i;
-                continue;
-            }
-            const unsigned max_level = geo_.commonLevel(e.path, leaf);
-            bool done = false;
-            for (int level = static_cast<int>(max_level);
-                 level >= 0 && !done; --level) {
-                for (unsigned s = 0; s < z; ++s) {
-                    if (used[level][s])
-                        continue;
-                    place(e, static_cast<unsigned>(level), s);
-                    done = true;
-                    break;
-                }
-            }
-            if (done)
-                stash_.removeAt(i);
-            else
-                ++i;
-        }
-    } else {
-        // Classic greedy eviction, leaf-first (no crash guarantees).
-        for (int level = static_cast<int>(geo_.height); level >= 0;
-             --level) {
-            for (unsigned s = 0; s < z; ++s) {
-                // Find the deepest-eligible stash entry for this slot.
-                std::size_t best = stash_.size();
-                unsigned best_depth = 0;
-                for (std::size_t i = 0; i < stash_.size(); ++i) {
-                    const StashEntry &e = stash_.at(i);
-                    const unsigned common =
-                        geo_.commonLevel(e.path, leaf);
-                    if (common >= static_cast<unsigned>(level) &&
-                        (best == stash_.size() ||
-                         common > best_depth)) {
-                        best = i;
-                        best_depth = common;
-                    }
-                }
-                if (best == stash_.size())
-                    break;
-                place(stash_.at(best), static_cast<unsigned>(level), s);
-                stash_.removeAt(best);
-            }
-        }
-    }
-
-    // Blocks that found no slot stay in the (volatile) stash until a
-    // later eviction; their durable copy is the backup (non-recursive)
-    // or the shadow region (recursive).
-    unplaced_carried_ += stash_.liveSize();
-
-    // Emit the full re-encrypted path. With safe placement the writes
-    // go out in two groups: first every slot that previously held a
-    // dummy/stale block (unconditionally safe), then the slots that
-    // held live blocks (identity rewrites, backup sites, and slots
-    // vacated by group-1 relocations). The drainer preserves push order
-    // across WPQ rounds, so any committed prefix is recoverable.
-    std::vector<WpqEntry> data_writes;
-    data_writes.reserve(geo_.blocksPerPath());
-    const auto emitGroup = [&](bool live_group) {
-        for (unsigned level = 0; level < levels; ++level) {
-            const BucketId bucket = geo_.bucketAt(leaf, level);
-            for (unsigned s = 0; s < z; ++s) {
-                if (safe_placement &&
-                    prev_live[level][s] != live_group)
-                    continue;
-                WpqEntry write;
-                write.addr = params_.data_layout.slotAddr(bucket, s);
-                const SlotBytes slot_bytes =
-                    codec_.encode(plan[level][s]);
-                write.data.assign(slot_bytes.begin(),
-                                  slot_bytes.end());
-                for (Placed &p : placed)
-                    if (p.level == level && p.slot == s)
-                        p.write_index = data_writes.size() + 1;
-                data_writes.push_back(std::move(write));
-            }
-        }
-    };
-    emitGroup(false);
-    if (safe_placement)
-        emitGroup(true);
-
-    if (!persistent()) {
-        // Direct (non-atomic) write-back; FullNVM reads each evicted
-        // block out of its on-chip NVM stash first.
-        Cycle issue = t + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle;
-        if (onchip_) {
-            // FullNVM: the eviction candidates stream out of the
-            // on-chip NVM stash first (bank-pipelined phase).
-            Cycle read_phase = issue;
-            for (std::size_t i = 0; i < data_writes.size(); ++i)
-                read_phase = std::max(read_phase, onChipRead(issue));
-            issue = read_phase;
-        }
-        Cycle proc = issue;
-        Cycle done = issue;
-        std::size_t count = 0;
-        for (const WpqEntry &write : data_writes) {
-            proc += params_.controller_block_cycles;
-            device_.writeBytes(write.addr, write.data.data(),
-                               write.data.size());
-            done = std::max(done, device_.accessOne(write.addr, true,
-                                                    proc));
-            if (++count == data_writes.size() / 2)
-                maybeCrash(CrashSite::DuringDirectEviction);
-        }
-        return done;
-    }
-
-    // PS designs: assemble the bundle and run the atomic WPQ protocol.
-    bundle.data_writes = std::move(data_writes);
-
-    // Find where the accessed block became durable in this bundle: its
-    // placed data slot, or the shadow region (recursive designs).
-    std::size_t target_durable_at = 0;
-    for (const Placed &p : placed)
-        if (p.addr == addr && !p.is_backup)
-            target_durable_at = p.write_index;
-
-    if (!recursive()) {
-        if (params_.design.persist == PersistMode::DirtyOnly) {
-            // Step 5-A: only dirty temporary-PosMap entries of blocks
-            // that return to the tree in this round are persisted.
-            for (const Placed &p : placed) {
-                if (p.is_backup)
-                    continue;
-                const auto pending = temp_.get(p.addr);
-                if (!pending)
-                    continue;
-                PosmapWrite pw;
-                pw.after_data = p.write_index;
-                pw.entry.addr =
-                    persistent_posmap_.entryAddr(p.addr);
-                const auto record = PersistentPosMap::encodeRecord(
-                    *pending, p.epoch);
-                pw.entry.data.assign(record.begin(), record.end());
-                bundle.posmap_writes.push_back(std::move(pw));
-            }
-        } else { // NaiveAll
-            // One metadata write per path slot, real or dummy.
-            for (std::size_t i = 0; i < bundle.data_writes.size();
-                 ++i) {
-                PosmapWrite pw;
-                pw.after_data = i + 1;
-                bool real = false;
-                for (const Placed &p : placed) {
-                    if (p.is_backup || p.write_index != i + 1)
-                        continue;
-                    const auto pending = temp_.get(p.addr);
-                    const PathId path =
-                        pending ? *pending : p.path;
-                    pw.entry.addr =
-                        persistent_posmap_.entryAddr(p.addr);
-                    const auto record = PersistentPosMap::encodeRecord(
-                        path, p.epoch);
-                    pw.entry.data.assign(record.begin(), record.end());
-                    real = true;
-                    break;
-                }
-                if (!real) {
-                    // Dummy slot: a scratch metadata write (the Naive
-                    // design persists every entry indiscriminately).
-                    pw.entry.addr = params_.naive_scratch_base +
-                                    (i % geo_.blocksPerPath()) *
-                                        kBlockDataBytes;
-                    pw.entry.data.resize(
-                        PersistentPosMap::kEntryBytes);
-                }
-                bundle.posmap_writes.push_back(std::move(pw));
-            }
-        }
-    } else {
-        // Recursive: the PoM writes collected at step 2 must not
-        // commit before the accessed block is durable.
-        std::vector<PosmapWrite> pom_writes(
-            bundle.posmap_writes.begin(),
-            bundle.posmap_writes.begin() +
-                static_cast<std::ptrdiff_t>(pom_after_data));
-        bundle.posmap_writes.clear();
-
-        // Shadow the stash residues (data + PoM) through the data WPQ.
-        for (auto &entry : shadow_data_->snapshotWrites(stash_, codec_))
-            bundle.data_writes.push_back(std::move(entry));
-        for (auto &entry :
-             shadow_pom_->snapshotWrites(pom_->stash(), codec_))
-            bundle.data_writes.push_back(std::move(entry));
-
-        if (target_durable_at == 0) {
-            // Target not placed on the tree: it is in the stash, hence
-            // inside the shadow snapshot just appended. Constrain the
-            // PoM metadata to commit after the whole snapshot.
-            target_durable_at = bundle.data_writes.size();
-        }
-        for (PosmapWrite &pw : pom_writes) {
-            pw.after_data = target_durable_at;
-            bundle.posmap_writes.push_back(std::move(pw));
-        }
-    }
-
-    // Step 5-B/5-C: one (or more) atomic WPQ rounds. Streaming the
-    // eviction into the persistence domain costs ~2 entries per NVM
-    // cycle on the controller's internal port.
-    const Cycle issue =
-        t + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle +
-        (bundle.data_writes.size() + bundle.posmap_writes.size()) / 2;
-    const Cycle done = drainer_->persist(
-        bundle, device_, issue,
-        [this](CrashSite site) { maybeCrash(site); });
-
-    // Post-commit bookkeeping: merge committed remaps into the main
-    // PosMap (functionally already durable via the drained region
-    // writes) and report durable data to the test oracle.
-    for (const Placed &p : placed) {
-        if (p.is_backup)
-            continue;
-        if (!recursive()) {
-            if (const auto pending = temp_.get(p.addr))
-                temp_.erase(p.addr);
-        }
-        if (commit_observer_)
-            commit_observer_(p.addr, p.data);
-    }
-    if (recursive() && commit_observer_) {
-        // Shadowed stash blocks are durable too.
-        for (std::size_t i = 0; i < stash_.size(); ++i) {
-            const StashEntry &e = stash_.at(i);
-            if (!e.is_backup)
-                commit_observer_(e.addr, e.data);
-        }
-    }
-    return done;
+    return ctx.info;
 }
 
 void
@@ -940,7 +287,7 @@ PsOramController::committedDataInTree(BlockAddr addr,
                                       std::uint8_t *out) const
 {
     const PathId leaf = committedPath(addr);
-    const bool check_epoch = persistent() && !recursive();
+    const bool check_epoch = usesBackups();
     const std::uint32_t epoch = check_epoch
         ? persistent_posmap_.readFullEntry(device_, addr).epoch
         : 0;

@@ -3,16 +3,18 @@
  * PS-ORAM controller: the paper's crash-consistent ORAM controller
  * (Figure 4), configurable to every design variant of §5.1.
  *
- * The controller implements the PS-ORAM access protocol (§4.2.1):
+ * The controller is a thin orchestrator over the protocol phase
+ * components (paper §4.2.1), which communicate through an explicit
+ * AccessContext:
  *
- *   1. Check Stash
- *   2. Access PosMap and Backup Label   (remap staged in the temporary
- *                                        PosMap, not committed)
- *   3. Load Path
- *   4. Update Stash and Backup Data     (backup block under the old
- *                                        path id)
- *   5. PS-ORAM Eviction                 (atomic WPQ bracket via the
- *                                        drainer; dirty-only metadata)
+ *   1. Check Stash                      (orchestrator fast path)
+ *   2. Access PosMap and Backup Label   (Remapper — remap staged in the
+ *                                        temporary PosMap)
+ *   3. Load Path                        (PathLoader)
+ *   4. Update Stash and Backup Data     (orchestrator + BackupPlanner —
+ *                                        backup under the old path id)
+ *   5. PS-ORAM Eviction                 (Evictor — atomic WPQ bracket
+ *                                        via the drainer)
  *
  * Eviction uses *safe placement*: loaded blocks are rewritten in place
  * (identity), backups land in the slot their block was loaded from, and
@@ -41,6 +43,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/backend.hh"
 #include "nvm/device.hh"
 #include "oram/block.hh"
 #include "oram/controller.hh"
@@ -48,65 +51,25 @@
 #include "oram/recursive_posmap.hh"
 #include "oram/stash.hh"
 #include "oram/tree.hh"
+#include "psoram/access_context.hh"
+#include "psoram/backup_planner.hh"
 #include "psoram/crash.hh"
 #include "psoram/design.hh"
 #include "psoram/drainer.hh"
+#include "psoram/evictor.hh"
+#include "psoram/params.hh"
+#include "psoram/path_loader.hh"
+#include "psoram/phase_env.hh"
+#include "psoram/remapper.hh"
 #include "psoram/shadow_stash.hh"
 #include "psoram/temp_posmap.hh"
 
 namespace psoram {
 
-struct PsOramParams
-{
-    TreeLayout data_layout;
-    /** Logical block address space. */
-    std::uint64_t num_blocks;
-    std::size_t stash_capacity = 200;
-    Aes128::Key key{};
-    CipherKind cipher = CipherKind::FastStream;
-    std::uint64_t seed = 1;
-    DesignOptions design;
-
-    /** @{ NVM region bases; sim::SystemBuilder lays these out. */
-    Addr posmap_region_base = 0;  ///< trusted PosMap region (non-rcr)
-    Addr pom_tree_base = 0;       ///< PosMap ORAM tree (recursive)
-    Addr pom_pos_region_base = 0; ///< persisted PoM positions (Rcr-PS)
-    Addr shadow_data_base = 0;    ///< data stash shadow (Rcr-PS)
-    Addr shadow_pom_base = 0;     ///< PoM stash shadow (Rcr-PS)
-    Addr naive_scratch_base = 0;  ///< Naive all-entry metadata scratch
-    /** @} */
-
-    /** PoM tree height; 0 derives it from num_blocks (recursive). */
-    unsigned pom_height = 0;
-    std::size_t pom_stash_capacity = 64;
-
-    /** Banks of the on-chip NVM buffer (FullNVM designs). */
-    unsigned onchip_banks = 8;
-    /** Controller pipeline occupancy per block (decrypt/steer). */
-    Cycle controller_block_cycles = 2;
-};
-
-/** Traffic as the paper counts it: NVM transactions (Fig. 6). */
-struct TrafficCounts
-{
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-};
-
-/**
- * Observer for durable commits: invoked once a block's data has become
- * crash-recoverable (placed on the tree in a committed round, or written
- * to the shadow region). Test oracles use this to track the expected
- * post-recovery value of every address.
- */
-using CommitObserver =
-    std::function<void(BlockAddr, const std::array<std::uint8_t,
-                                                   kBlockDataBytes> &)>;
-
 class PsOramController
 {
   public:
-    PsOramController(const PsOramParams &params, NvmDevice &device);
+    PsOramController(const PsOramParams &params, MemoryBackend &device);
     ~PsOramController();
 
     /** Read block @p addr into @p out (64 bytes). */
@@ -167,14 +130,26 @@ class PsOramController
     NvmDevice *onChipDevice() { return onchip_.get(); }
 
     std::uint64_t accessCount() const { return accesses_.value(); }
-    std::uint64_t stashHits() const { return stash_hits_.value(); }
-    std::uint64_t backupsCreated() const { return backups_.value(); }
-    std::uint64_t staleDropped() const { return stale_dropped_.value(); }
-    std::uint64_t forcedMerges() const { return forced_merges_.value(); }
+    std::uint64_t stashHits() const
+    {
+        return counters_.stash_hits.value();
+    }
+    std::uint64_t backupsCreated() const
+    {
+        return counters_.backups.value();
+    }
+    std::uint64_t staleDropped() const
+    {
+        return counters_.stale_dropped.value();
+    }
+    std::uint64_t forcedMerges() const
+    {
+        return counters_.forced_merges.value();
+    }
     /** Cumulative live stash residue after evictions. */
     std::uint64_t unplacedCarried() const
     {
-        return unplaced_carried_.value();
+        return counters_.unplaced_carried.value();
     }
     Cycle nowCycles() const { return now_; }
 
@@ -191,38 +166,11 @@ class PsOramController
     bool committedDataInTree(BlockAddr addr, std::uint8_t *out) const;
 
   private:
-    struct LoadedSlot
-    {
-        unsigned level;
-        unsigned slot;
-        BlockAddr addr;  ///< kDummyBlockAddr when free/stale/dummy
-        bool is_backup_site; ///< slot where the target was found
-    };
-
     OramAccessInfo access(BlockAddr addr, bool is_write,
                           std::uint8_t *read_out,
                           const std::uint8_t *write_in);
 
     void maybeCrash(CrashSite site);
-
-    /** Steps of the protocol, factored for readability. */
-    PathId stepRemap(BlockAddr addr, PathId &new_leaf, Cycle &t,
-                     EvictionBundle &bundle, std::size_t &pom_after_data);
-    Cycle stepLoadPath(BlockAddr addr, PathId leaf, Cycle start,
-                       std::vector<LoadedSlot> &slots);
-    void stepBackup(BlockAddr addr, PathId leaf, PathId new_leaf,
-                    const std::vector<LoadedSlot> &slots);
-    Cycle stepEvict(BlockAddr addr, PathId leaf, Cycle t,
-                    std::vector<LoadedSlot> &slots,
-                    EvictionBundle &bundle, std::size_t pom_after_data);
-
-    /** Classify one decoded block during the path load. */
-    void classifyLoaded(const PlainBlock &block, BlockAddr target,
-                        PathId leaf, LoadedSlot &slot_info);
-
-    /** On-chip NVM buffer timing (FullNVM designs). */
-    Cycle onChipWrite(Cycle earliest);
-    Cycle onChipRead(Cycle earliest);
 
     bool persistent() const
     {
@@ -235,7 +183,7 @@ class PsOramController
     }
 
     PsOramParams params_;
-    NvmDevice &device_;
+    MemoryBackend &device_;
     TreeGeometry geo_;
     BlockCodec codec_;
     Rng rng_;
@@ -257,7 +205,6 @@ class PsOramController
     std::unique_ptr<Drainer> drainer_;
     /** On-chip NVM buffer for FullNVM stash/PosMap. */
     std::unique_ptr<NvmDevice> onchip_;
-    Cycle onchip_clock_skew_ = 0;
 
     CrashPolicy *crash_policy_ = nullptr;
     PathObserver observer_;
@@ -266,11 +213,15 @@ class PsOramController
     Cycle now_ = 0;
 
     Counter accesses_;
-    Counter stash_hits_;
-    Counter backups_;
-    Counter stale_dropped_;
-    Counter forced_merges_;
-    Counter unplaced_carried_;
+    ProtocolCounters counters_;
+
+    /** @{ Protocol phases (constructed over env_ after all state). */
+    std::unique_ptr<PhaseEnv> env_;
+    std::unique_ptr<Remapper> remapper_;
+    std::unique_ptr<PathLoader> loader_;
+    std::unique_ptr<BackupPlanner> backup_planner_;
+    std::unique_ptr<Evictor> evictor_;
+    /** @} */
 };
 
 } // namespace psoram

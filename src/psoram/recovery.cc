@@ -4,7 +4,7 @@ namespace psoram {
 
 std::unique_ptr<PsOramController>
 RecoveryManager::recover(std::unique_ptr<PsOramController> crashed,
-                         NvmDevice &device, RecoveryReport *report)
+                         MemoryBackend &device, RecoveryReport *report)
 {
     const PsOramParams params = crashed->params();
     const bool onchip_nv =

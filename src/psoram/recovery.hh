@@ -49,7 +49,7 @@ class RecoveryManager
      * which the tests demonstrate).
      */
     static std::unique_ptr<PsOramController>
-    recover(std::unique_ptr<PsOramController> crashed, NvmDevice &device,
+    recover(std::unique_ptr<PsOramController> crashed, MemoryBackend &device,
             RecoveryReport *report = nullptr);
 };
 

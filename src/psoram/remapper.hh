@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Remapper: protocol step 2 — access the PosMap and back up the label
+ * (paper §4.2.1).
+ *
+ * Non-recursive persistent designs stage the new label in the temporary
+ * PosMap (the committed mapping stays intact until the block's eviction
+ * round commits); non-persistent designs overwrite the PosMap in place;
+ * recursive designs perform one PosMap-ORAM access and hand the
+ * resulting tree writes to the Evictor through the bundle.
+ */
+
+#ifndef PSORAM_PSORAM_REMAPPER_HH
+#define PSORAM_PSORAM_REMAPPER_HH
+
+#include "psoram/access_context.hh"
+#include "psoram/phase_env.hh"
+
+namespace psoram {
+
+class Remapper
+{
+  public:
+    explicit Remapper(PhaseEnv &env) : env_(env) {}
+
+    /**
+     * Resolve the committed path of ctx.addr, pick and stage a fresh
+     * label, and (recursive designs) collect the PoM eviction writes
+     * into ctx.bundle. Sets ctx.leaf / ctx.new_leaf / ctx.pom_after_data
+     * and advances ctx.t.
+     */
+    void run(AccessContext &ctx);
+
+  private:
+    PhaseEnv &env_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_PSORAM_REMAPPER_HH

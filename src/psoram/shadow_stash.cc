@@ -50,7 +50,7 @@ ShadowStashRegion::snapshotWrites(const Stash &stash, BlockCodec &codec)
 }
 
 std::vector<StashEntry>
-ShadowStashRegion::recover(const NvmDevice &device,
+ShadowStashRegion::recover(const MemoryBackend &device,
                            const BlockCodec &codec) const
 {
     std::uint8_t raw[kHeaderBytes] = {};
@@ -82,7 +82,7 @@ ShadowStashRegion::recover(const NvmDevice &device,
 }
 
 void
-ShadowStashRegion::resumeFrom(const NvmDevice &device)
+ShadowStashRegion::resumeFrom(const MemoryBackend &device)
 {
     std::uint8_t raw[kHeaderBytes] = {};
     device.readBytes(base_, raw, kHeaderBytes);

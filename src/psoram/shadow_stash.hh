@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 #include "nvm/wpq.hh"
 #include "oram/block.hh"
 #include "oram/stash.hh"
@@ -59,7 +59,7 @@ class ShadowStashRegion
                                          BlockCodec &codec);
 
     /** Recovery: decode the active area back into stash entries. */
-    std::vector<StashEntry> recover(const NvmDevice &device,
+    std::vector<StashEntry> recover(const MemoryBackend &device,
                                     const BlockCodec &codec) const;
 
     /**
@@ -68,7 +68,7 @@ class ShadowStashRegion
      * crash during the first post-recovery snapshot could corrupt the
      * still-active area.
      */
-    void resumeFrom(const NvmDevice &device);
+    void resumeFrom(const MemoryBackend &device);
 
     Addr base() const { return base_; }
     std::size_t capacity() const { return capacity_; }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * OramEngine: a batched asynchronous frontend over the PS-ORAM
+ * controller.
+ *
+ * Callers submit read/write requests and receive completions through
+ * poll()/drain(), either by callback or from the returned completion
+ * records. The engine owns a FIFO request queue; the controller is only
+ * driven when the caller polls, so submission never blocks on NVM
+ * timing.
+ *
+ * Back-to-back requests to the same logical block are *coalesced*: a
+ * run of duplicate reads (or a write-led run) costs one path
+ * load/eviction, and a read-then-write run costs two — the folded
+ * writes land as one physical write of the final value. This mirrors
+ * what a write-combining front buffer does for a DIMM, and it is safe
+ * for obliviousness — the adversary observes one access where the
+ * trace had a run of accesses to one (hidden) address, revealing
+ * nothing about which address that was.
+ */
+
+#ifndef PSORAM_SIM_ENGINE_HH
+#define PSORAM_SIM_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/block.hh"
+#include "oram/controller.hh"
+#include "psoram/psoram_controller.hh"
+
+namespace psoram {
+
+/** Engine tunables. */
+struct EngineConfig
+{
+    /** Merge back-to-back same-block requests into one access. */
+    bool coalesce = true;
+};
+
+class OramEngine
+{
+  public:
+    using RequestId = std::uint64_t;
+    using Config = EngineConfig;
+
+    /** Outcome of one submitted request. */
+    struct Completion
+    {
+        RequestId id = 0;
+        BlockAddr addr = kDummyBlockAddr;
+        bool is_write = false;
+        /** Served by an earlier request's physical access. */
+        bool coalesced = false;
+        /** Memory-side cycles from first controller activity of the
+         *  request's batch to its completion. */
+        Cycle latency_cycles = 0;
+        /** Controller-level outcome of the batch's physical access. */
+        OramAccessInfo info;
+        /** Block contents observed by the request (read result, or the
+         *  written data echoed back). */
+        std::array<std::uint8_t, kBlockDataBytes> data{};
+    };
+
+    using Callback = std::function<void(const Completion &)>;
+
+    explicit OramEngine(PsOramController &ctrl, Config config = Config())
+        : ctrl_(ctrl), config_(config)
+    {
+    }
+
+    /** @{ Enqueue a request; returns immediately. The write payload is
+     *  copied. The callback (optional) fires during poll()/drain(). */
+    RequestId submitRead(BlockAddr addr, Callback callback = nullptr);
+    RequestId submitWrite(BlockAddr addr, const std::uint8_t *data,
+                          Callback callback = nullptr);
+    /** @} */
+
+    /**
+     * Process the next batch (one coalescing run; a single request when
+     * coalescing is off or neighbours differ) and deliver its
+     * completions.
+     * @return completions produced (0 when the queue is empty)
+     */
+    std::size_t poll();
+
+    /** Process the whole queue. @return total completions delivered. */
+    std::size_t drain();
+
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Completions accumulated since the last takeCompletions(). */
+    std::vector<Completion> takeCompletions();
+
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        /** Controller accesses that touched the tree (no stash hit). */
+        std::uint64_t physical_accesses = 0;
+        /** Requests absorbed into an earlier request's access. */
+        std::uint64_t coalesced = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Pending
+    {
+        RequestId id;
+        BlockAddr addr;
+        bool is_write;
+        std::array<std::uint8_t, kBlockDataBytes> data;
+        Callback callback;
+    };
+
+    void finish(const Pending &request, bool coalesced, Cycle start,
+                const OramAccessInfo &info,
+                const std::array<std::uint8_t, kBlockDataBytes> &block);
+
+    PsOramController &ctrl_;
+    Config config_;
+    std::deque<Pending> queue_;
+    std::vector<Completion> completions_;
+    Stats stats_;
+    RequestId next_id_ = 1;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_SIM_ENGINE_HH

@@ -2,6 +2,8 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "nvm/device.hh"
+#include "nvm/file_backed.hh"
 #include "psoram/recovery.hh"
 
 namespace psoram {
@@ -108,9 +110,15 @@ buildSystem(const SystemConfig &config)
         system.params.naive_scratch_base +
         system.params.data_layout.geometry.blocksPerPath() *
             kBlockDataBytes;
-    system.device = std::make_unique<NvmDevice>(
-        timingsFor(config.main_tech), config.channels,
-        config.banks_per_channel, alignUp(last) + (1ULL << 20));
+    const std::uint64_t capacity = alignUp(last) + (1ULL << 20);
+    if (!config.backing_file.empty())
+        system.device = std::make_unique<FileBackedNvm>(
+            timingsFor(config.main_tech), config.channels,
+            config.banks_per_channel, capacity, config.backing_file);
+    else
+        system.device = std::make_unique<NvmDevice>(
+            timingsFor(config.main_tech), config.channels,
+            config.banks_per_channel, capacity);
     system.controller = std::make_unique<PsOramController>(
         system.params, *system.device);
     return system;
@@ -121,6 +129,8 @@ System::recoverController()
 {
     controller = RecoveryManager::recover(std::move(controller),
                                           *device);
+    if (rebind_hook)
+        rebind_hook(*controller);
 }
 
 } // namespace psoram

@@ -9,9 +9,11 @@
 #define PSORAM_SIM_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 
-#include "nvm/device.hh"
+#include "mem/backend.hh"
 #include "psoram/design.hh"
 #include "psoram/psoram_controller.hh"
 
@@ -39,24 +41,42 @@ struct SystemConfig
 
     CipherKind cipher = CipherKind::FastStream;
     std::uint64_t seed = 1;
+
+    /**
+     * Non-empty: back the NVM image with this file (FileBackedNvm), so
+     * the persistent state survives process restarts. Empty: in-memory
+     * NvmDevice.
+     */
+    std::string backing_file;
 };
 
 /** A wired device + controller pair. */
 struct System
 {
+    /**
+     * Invoked with every freshly recovered controller so observers,
+     * crash policies and other per-instance registrations survive
+     * recovery (they are attached to the controller object and would
+     * otherwise be silently dropped).
+     */
+    using RebindHook = std::function<void(PsOramController &)>;
+
     SystemConfig config;
     PsOramParams params;
-    std::unique_ptr<NvmDevice> device;
+    std::unique_ptr<MemoryBackend> device;
     std::unique_ptr<PsOramController> controller;
+    RebindHook rebind_hook;
 
     /**
      * Rebuild the controller after a crash (keeps the device): applies
      * the ADR power-failure flush, drops all volatile state, and runs
-     * recovery from the NVM image. Observers and crash policies are
-     * attached to the controller instance and must be re-registered on
-     * the new one.
+     * recovery from the NVM image. The rebind hook (if set) is then
+     * called with the new controller to re-attach observers and crash
+     * policies.
      */
     void recoverController();
+
+    void setRebindHook(RebindHook hook) { rebind_hook = std::move(hook); }
 };
 
 /** Construct the full system for @p config. */

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nvm/device.hh"
+
 #include "psoram/drainer.hh"
 
 namespace psoram {

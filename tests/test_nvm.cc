@@ -202,6 +202,25 @@ TEST(Device, OutOfBoundsPanics)
     EXPECT_DEATH(device.writeBytes(1024, buf, 1), "capacity");
 }
 
+TEST(Device, BoundsCheckSurvivesAddressOverflow)
+{
+    // Regression: the old check computed `addr + len > capacity_`,
+    // which wraps for addresses near the top of the 64-bit space and
+    // silently admitted the access.
+    NvmDevice device(pcmTimings(), 1, 8, 1024);
+    std::uint8_t buf[64] = {};
+    EXPECT_DEATH(device.readBytes(UINT64_MAX - 8, buf, 64), "capacity");
+    EXPECT_DEATH(device.writeBytes(UINT64_MAX - 8, buf, 64), "capacity");
+    // addr in range, but addr + len wraps past zero.
+    EXPECT_DEATH(device.readBytes(512, buf, UINT64_MAX - 256),
+                 "capacity");
+    EXPECT_DEATH(device.writeBytes(512, buf, UINT64_MAX - 256),
+                 "capacity");
+    // The boundary itself stays legal.
+    device.readBytes(1024 - 64, buf, 64);
+    device.writeBytes(1024 - 64, buf, 64);
+}
+
 TEST(Device, ResetStatsClearsCountersAndWear)
 {
     NvmDevice device(pcmTimings(), 1, 8, 1 << 20);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nvm/device.hh"
+
 #include <cstring>
 #include <map>
 #include <vector>

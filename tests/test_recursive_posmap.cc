@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nvm/device.hh"
+
 #include "oram/recursive_posmap.hh"
 
 namespace psoram {

@@ -89,6 +89,51 @@ TEST(SystemLayout, NumBlocksDerivedFromUtilization)
               params.data_layout.geometry.dataBlocks(0.5));
 }
 
+TEST(SystemRecovery, RebindHookReattachesObserversAfterRecovery)
+{
+    // Observers and crash policies hang off the controller object;
+    // recoverController() replaces that object, so without the rebind
+    // hook every registration is silently dropped.
+    System system = buildSystem(tinyConfig(DesignKind::PsOram));
+
+    std::uint64_t paths_seen = 0;
+    int rebinds = 0;
+    system.setRebindHook([&](PsOramController &ctrl) {
+        ++rebinds;
+        ctrl.setPathObserver([&](PathId) { ++paths_seen; });
+    });
+    system.rebind_hook(*system.controller); // initial attach
+
+    std::uint8_t buf[kBlockDataBytes] = {};
+    system.controller->write(1, buf);
+    const std::uint64_t before = paths_seen;
+    EXPECT_GT(before, 0u);
+
+    system.recoverController();
+    EXPECT_EQ(rebinds, 2);
+
+    // The observer keeps firing on the recovered controller (the stash
+    // was lost in the crash, so this read walks the tree again).
+    system.controller->read(1, buf);
+    EXPECT_GT(paths_seen, before);
+}
+
+TEST(SystemRecovery, WithoutRebindHookObserversAreDropped)
+{
+    System system = buildSystem(tinyConfig(DesignKind::PsOram));
+    std::uint64_t paths_seen = 0;
+    system.controller->setPathObserver([&](PathId) { ++paths_seen; });
+
+    std::uint8_t buf[kBlockDataBytes] = {};
+    system.controller->write(1, buf);
+    const std::uint64_t before = paths_seen;
+
+    system.recoverController();
+    system.controller->read(1, buf);
+    // Documents the trap the hook exists to close.
+    EXPECT_EQ(paths_seen, before);
+}
+
 TEST(Designs, CatalogsMatchPaper)
 {
     EXPECT_EQ(nonRecursiveDesigns().size(), 5u);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "nvm/device.hh"
+
 #include "nvm/adr_domain.hh"
 #include "nvm/wpq.hh"
 
