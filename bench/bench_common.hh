@@ -9,11 +9,17 @@
  *   height=L z=Z stash=N wpq=N channels=N banks=N seed=N
  *   cipher=aes|fast  tech=pcm|stt
  *   workloads=K      only run the first K workloads (quick looks)
+ *
+ * Benches additionally accept "--json <path>" (or --json=<path>): the
+ * run then also emits a machine-readable report (BENCH_*.json) used by
+ * the CI perf-smoke step and the perf trajectory in DESIGN.md §8.
  */
 
 #ifndef PSORAM_BENCH_BENCH_COMMON_HH
 #define PSORAM_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -27,10 +33,124 @@
 
 namespace psoram::bench {
 
+/**
+ * Minimal JSON report writer: a flat "meta" object plus one "results"
+ * array of flat objects. Field order is preserved, numbers are emitted
+ * raw and strings quoted — just enough structure for the perf-smoke CI
+ * artifact and for plotting scripts, with no external dependency.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    /** One flat result object ("name": ... plus numeric fields). */
+    class Row
+    {
+      public:
+        Row &
+        str(const std::string &key, const std::string &value)
+        {
+            fields_.emplace_back(key, quote(value));
+            return *this;
+        }
+        Row &
+        num(const std::string &key, double value)
+        {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6g", value);
+            fields_.emplace_back(key, buf);
+            return *this;
+        }
+        Row &
+        count(const std::string &key, std::uint64_t value)
+        {
+            fields_.emplace_back(key, std::to_string(value));
+            return *this;
+        }
+
+      private:
+        friend class JsonReport;
+        std::vector<std::pair<std::string, std::string>> fields_;
+    };
+
+    JsonReport &
+    meta(const std::string &key, const std::string &value)
+    {
+        meta_.str(key, value);
+        return *this;
+    }
+    JsonReport &
+    metaNum(const std::string &key, double value)
+    {
+        meta_.num(key, value);
+        return *this;
+    }
+    JsonReport &
+    metaCount(const std::string &key, std::uint64_t value)
+    {
+        meta_.count(key, value);
+        return *this;
+    }
+
+    Row &
+    addRow()
+    {
+        rows_.emplace_back();
+        return rows_.back();
+    }
+
+    /** Write the document; returns false (and warns) on I/O failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "warning: cannot write JSON report to " << path
+                      << "\n";
+            return false;
+        }
+        out << "{\n  \"bench\": " << quote(bench_) << ",\n";
+        for (const auto &[key, value] : meta_.fields_)
+            out << "  " << quote(key) << ": " << value << ",\n";
+        out << "  \"results\": [\n";
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            out << "    {";
+            const auto &fields = rows_[r].fields_;
+            for (std::size_t f = 0; f < fields.size(); ++f)
+                out << (f ? ", " : "") << quote(fields[f].first) << ": "
+                    << fields[f].second;
+            out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        return out.good();
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string quoted = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\')
+                quoted += '\\';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    }
+
+    std::string bench_;
+    Row meta_;
+    std::vector<Row> rows_;
+};
+
 struct BenchContext
 {
     Config overrides;
     std::uint64_t instructions = 200'000;
+    /** Non-empty: also emit a JSON report here (--json <path>). */
+    std::string json_path;
     std::vector<WorkloadSpec> workloads;
 
     GeneratorParams
@@ -47,6 +167,13 @@ inline BenchContext
 parseContext(int argc, char **argv)
 {
     BenchContext ctx;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            ctx.json_path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
+            ctx.json_path = arg.substr(7);
+    }
     ctx.overrides.parseArgs(argc, argv);
     ctx.instructions =
         ctx.overrides.getUint("instructions", 200'000);

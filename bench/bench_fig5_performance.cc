@@ -9,6 +9,7 @@
  *       Rcr-PS-ORAM / Rcr-Baseline gap the paper quotes (3.65%).
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -19,6 +20,7 @@ main(int argc, char **argv)
     using namespace psoram;
     using namespace psoram::bench;
 
+    const auto bench_start = std::chrono::steady_clock::now();
     BenchContext ctx = parseContext(argc, argv);
     const SystemConfig banner =
         configFromOverrides(ctx.overrides, DesignKind::Baseline);
@@ -96,5 +98,35 @@ main(int argc, char **argv)
     table_b.print(std::cout);
     std::cout << "# Paper 5(b): Rcr-Baseline +68.93% vs Baseline, "
                  "Rcr-PS-ORAM +3.65% vs Rcr-Baseline\n";
+
+    if (!ctx.json_path.empty()) {
+        const double host_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - bench_start)
+                .count();
+        JsonReport report("fig5_performance");
+        report.metaCount("instructions", ctx.instructions)
+            .metaCount("tree_height", banner.tree_height)
+            .metaCount("bucket_slots", banner.bucket_slots)
+            .metaCount("seed", banner.seed)
+            .metaNum("host_seconds", host_seconds);
+        for (const DesignKind design : designs) {
+            for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
+                const WorkloadResult &r = results[design][w];
+                report.addRow()
+                    .str("design", designName(design))
+                    .str("workload", ctx.workloads[w].name)
+                    .count("cycles", r.core.cycles)
+                    .num("normalized_cycles",
+                         cyclesMetric(r) / cyclesMetric(base[w]))
+                    .count("oram_accesses", r.oram_accesses)
+                    .count("stash_peak", r.stash_peak)
+                    .num("stash_mean_occupancy",
+                         r.stash_mean_occupancy);
+            }
+        }
+        if (!report.writeTo(ctx.json_path))
+            return 1;
+    }
     return 0;
 }

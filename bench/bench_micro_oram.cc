@@ -3,13 +3,25 @@
  * Google-benchmark micro suite: single ORAM access cost by design, the
  * AES codec, and the WPQ persist path. Complements the table/figure
  * benches with host-time microbenchmarks of the simulator itself.
+ *
+ * With "--json <path>" the binary instead runs the regression-harness
+ * mode: a fixed host-throughput measurement of every design on the
+ * default Table-3 configuration, reporting accesses/sec, ns/access and
+ * stash occupancy to the JSON file (BENCH_micro.json). CI runs this for
+ * a few seconds per push and archives the report.
+ *
+ * JSON-mode overrides: accesses=N (per-design target, default 20000),
+ * maxseconds=S (per-design time cap, default 0.8) plus the usual
+ * height/z/stash/wpq/cipher/seed keys.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "bench_common.hh"
 #include "oram/block.hh"
 #include "psoram/drainer.hh"
 #include "sim/system.hh"
@@ -93,11 +105,90 @@ BM_DrainerPersist(benchmark::State &state)
 }
 BENCHMARK(BM_DrainerPersist)->Arg(24)->Arg(96);
 
+/**
+ * Regression-harness mode: host throughput of the full access loop per
+ * design on the Table-3 default configuration, written as JSON.
+ */
+int
+runJsonMode(const psoram::bench::BenchContext &ctx)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t target =
+        ctx.overrides.getUint("accesses", 20'000);
+    const double max_seconds =
+        ctx.overrides.getDouble("maxseconds", 0.8);
+
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::PsOram);
+    psoram::bench::JsonReport report("micro_oram");
+    report.metaCount("tree_height", banner.tree_height)
+        .metaCount("bucket_slots", banner.bucket_slots)
+        .metaCount("stash_capacity", banner.stash_capacity)
+        .metaCount("wpq_entries", banner.wpq_entries)
+        .meta("cipher", banner.cipher == CipherKind::Aes128Ctr
+                  ? "aes" : "fast")
+        .metaCount("seed", banner.seed)
+        .metaCount("target_accesses", target);
+
+    for (const DesignKind design : allDesigns()) {
+        System system =
+            buildSystem(configFromOverrides(ctx.overrides, design));
+        std::uint8_t buf[kBlockDataBytes] = {};
+        BlockAddr addr = 0;
+        const auto step = [&] {
+            const OramAccessInfo info =
+                system.controller->write(addr, buf);
+            addr = (addr + 97) % system.params.num_blocks;
+            return info.nvm_cycles;
+        };
+        for (unsigned i = 0; i < 512; ++i)
+            step(); // warm the tree and the stash
+
+        std::uint64_t accesses = 0;
+        std::uint64_t sim_cycles = 0;
+        const auto t0 = Clock::now();
+        double elapsed = 0.0;
+        while (accesses < target && elapsed < max_seconds) {
+            for (unsigned i = 0; i < 512; ++i)
+                sim_cycles += step();
+            accesses += 512;
+            elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                          .count();
+        }
+
+        const Stash &stash = system.controller->stash();
+        report.addRow()
+            .str("design", designName(design))
+            .count("accesses", accesses)
+            .num("seconds", elapsed)
+            .num("accesses_per_sec",
+                 static_cast<double>(accesses) / elapsed)
+            .num("ns_per_access",
+                 elapsed * 1e9 / static_cast<double>(accesses))
+            .num("sim_nvm_cycles_per_access",
+                 static_cast<double>(sim_cycles) /
+                     static_cast<double>(accesses))
+            .count("stash_peak", stash.peakSize())
+            .num("stash_mean_occupancy", stash.occupancy().mean());
+        std::cout << designName(design) << ": "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(accesses) / elapsed)
+                  << " accesses/sec (" << accesses << " in " << elapsed
+                  << " s)\n";
+    }
+    return report.writeTo(ctx.json_path) ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const psoram::bench::BenchContext ctx =
+        psoram::bench::parseContext(argc, argv);
+    if (!ctx.json_path.empty())
+        return runJsonMode(ctx);
+
     // The table/figure benches accept "key=value" overrides; tolerate
     // (and ignore) them here so one loop can run every bench binary.
     std::vector<char *> filtered;

@@ -2,7 +2,14 @@
 
 #include <cstring>
 
+#include "crypto/aes128_ni.hh"
+
 namespace psoram {
+
+bool Aes128::force_scalar_ = false;
+
+static_assert(sizeof(Aes128::Block) == Aes128::kBlockBytes,
+              "blocks must be contiguous when batched in an array");
 
 namespace {
 
@@ -120,8 +127,42 @@ Aes128::Aes128(const Key &key)
     }
 }
 
+bool
+Aes128::aesniAvailable()
+{
+    static const bool supported = aesni::supported();
+    return supported;
+}
+
+bool
+Aes128::useAesni()
+{
+    return aesniAvailable() && !force_scalar_;
+}
+
 void
 Aes128::encryptBlock(Block &block) const
+{
+    if (useAesni()) {
+        aesni::encryptBlocks(roundKeys_.data(), block.data(), 1);
+        return;
+    }
+    encryptBlockScalar(block);
+}
+
+void
+Aes128::encryptBlocks(Block *blocks, std::size_t count) const
+{
+    if (useAesni()) {
+        aesni::encryptBlocks(roundKeys_.data(), blocks[0].data(), count);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        encryptBlockScalar(blocks[i]);
+}
+
+void
+Aes128::encryptBlockScalar(Block &block) const
 {
     std::uint8_t *s = block.data();
     addRoundKey(s, roundKeys_.data());

@@ -2,10 +2,14 @@
  * @file
  * AES-128 block cipher (FIPS-197), encrypt direction only.
  *
- * CTR mode (crypto/ctr.hh) only needs the forward cipher. This is a plain
- * table-free implementation: the simulator models the 32-cycle hardware
- * AES latency separately (Table 3), so software speed is not critical —
- * correctness and freedom from external dependencies are.
+ * CTR mode (crypto/ctr.hh) only needs the forward cipher. Two backends
+ * share one key schedule: a table-free scalar implementation (the
+ * reference, and the fallback on CPUs without AES instructions) and an
+ * AES-NI path (crypto/aes128_ni.cc) selected at runtime via CPUID. Both
+ * produce bit-identical ciphertext; the simulator models the 32-cycle
+ * hardware AES latency separately (Table 3), but the host-side AES cost
+ * sits on every slot of every simulated path access, so the batched
+ * encryptBlocks() entry point matters for simulation throughput.
  */
 
 #ifndef PSORAM_CRYPTO_AES128_HH
@@ -35,9 +39,30 @@ class Aes128
     /** Encrypt @p in into @p out (may alias). */
     Block encrypt(const Block &in) const;
 
+    /**
+     * Encrypt @p count contiguous blocks in place. Dispatches to the
+     * pipelined AES-NI backend when available; output is identical on
+     * both paths.
+     */
+    void encryptBlocks(Block *blocks, std::size_t count) const;
+
+    /** True when the AES-NI backend is compiled in and the CPU has it. */
+    static bool aesniAvailable();
+
+    /**
+     * Test hook: when @p force is true every Aes128 uses the scalar
+     * path even on AES-NI hardware (lets the KATs cover both backends).
+     */
+    static void forceScalar(bool force) { force_scalar_ = force; }
+
   private:
+    void encryptBlockScalar(Block &block) const;
+    static bool useAesni();
+
     // 11 round keys of 16 bytes each.
     std::array<std::uint8_t, kBlockBytes * (kRounds + 1)> roundKeys_;
+
+    static bool force_scalar_;
 };
 
 } // namespace psoram

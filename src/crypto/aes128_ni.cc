@@ -1,0 +1,95 @@
+#include "crypto/aes128_ni.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace psoram {
+namespace aesni {
+
+bool
+supported()
+{
+    return __builtin_cpu_supports("aes") != 0;
+}
+
+namespace {
+
+__attribute__((target("aes,sse2"))) inline __m128i
+encryptOne(__m128i block, const __m128i *keys)
+{
+    block = _mm_xor_si128(block, keys[0]);
+    for (int round = 1; round < 10; ++round)
+        block = _mm_aesenc_si128(block, keys[round]);
+    return _mm_aesenclast_si128(block, keys[10]);
+}
+
+} // namespace
+
+__attribute__((target("aes,sse2"))) void
+encryptBlocks(const std::uint8_t *round_keys, std::uint8_t *blocks,
+              std::size_t count)
+{
+    __m128i keys[11];
+    for (int i = 0; i < 11; ++i)
+        keys[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(round_keys + 16 * i));
+
+    std::size_t i = 0;
+    // Four blocks ride the AES pipeline together: aesenc has multi-cycle
+    // latency but single-cycle throughput, so interleaving independent
+    // blocks hides it.
+    for (; i + 4 <= count; i += 4) {
+        __m128i *p = reinterpret_cast<__m128i *>(blocks + 16 * i);
+        __m128i b0 = _mm_loadu_si128(p + 0);
+        __m128i b1 = _mm_loadu_si128(p + 1);
+        __m128i b2 = _mm_loadu_si128(p + 2);
+        __m128i b3 = _mm_loadu_si128(p + 3);
+        b0 = _mm_xor_si128(b0, keys[0]);
+        b1 = _mm_xor_si128(b1, keys[0]);
+        b2 = _mm_xor_si128(b2, keys[0]);
+        b3 = _mm_xor_si128(b3, keys[0]);
+        for (int round = 1; round < 10; ++round) {
+            b0 = _mm_aesenc_si128(b0, keys[round]);
+            b1 = _mm_aesenc_si128(b1, keys[round]);
+            b2 = _mm_aesenc_si128(b2, keys[round]);
+            b3 = _mm_aesenc_si128(b3, keys[round]);
+        }
+        b0 = _mm_aesenclast_si128(b0, keys[10]);
+        b1 = _mm_aesenclast_si128(b1, keys[10]);
+        b2 = _mm_aesenclast_si128(b2, keys[10]);
+        b3 = _mm_aesenclast_si128(b3, keys[10]);
+        _mm_storeu_si128(p + 0, b0);
+        _mm_storeu_si128(p + 1, b1);
+        _mm_storeu_si128(p + 2, b2);
+        _mm_storeu_si128(p + 3, b3);
+    }
+    for (; i < count; ++i) {
+        __m128i *p = reinterpret_cast<__m128i *>(blocks + 16 * i);
+        _mm_storeu_si128(p, encryptOne(_mm_loadu_si128(p), keys));
+    }
+}
+
+} // namespace aesni
+} // namespace psoram
+
+#else // non-x86: no AES-NI path
+
+namespace psoram {
+namespace aesni {
+
+bool
+supported()
+{
+    return false;
+}
+
+void
+encryptBlocks(const std::uint8_t *, std::uint8_t *, std::size_t)
+{
+}
+
+} // namespace aesni
+} // namespace psoram
+
+#endif

@@ -1,5 +1,6 @@
 #include "crypto/ctr.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace psoram {
@@ -11,21 +12,35 @@ CtrCipher::CtrCipher(const Aes128::Key &key) : aes_(key)
 void
 CtrCipher::apply(std::uint64_t iv, std::uint8_t *data, std::size_t len) const
 {
+    // Generate the keystream for up to 8 counter blocks per cipher
+    // dispatch, so the AES-NI backend can pipeline them. Block i of the
+    // keystream is AES_K(iv || i), exactly as the one-at-a-time loop
+    // produced it, so ciphertexts are unchanged.
+    constexpr std::size_t kMaxBatch = 8;
+    Aes128::Block keystream[kMaxBatch];
+
     std::uint64_t counter = 0;
     std::size_t off = 0;
     while (off < len) {
-        Aes128::Block ctr_block{};
-        std::memcpy(ctr_block.data(), &iv, sizeof(iv));
-        std::memcpy(ctr_block.data() + sizeof(iv), &counter,
-                    sizeof(counter));
-        aes_.encryptBlock(ctr_block);
+        const std::size_t blocks =
+            std::min(kMaxBatch, (len - off + Aes128::kBlockBytes - 1) /
+                                    Aes128::kBlockBytes);
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const std::uint64_t ctr = counter + b;
+            std::memcpy(keystream[b].data(), &iv, sizeof(iv));
+            std::memcpy(keystream[b].data() + sizeof(iv), &ctr,
+                        sizeof(ctr));
+        }
+        aes_.encryptBlocks(keystream, blocks);
 
-        const std::size_t chunk =
-            std::min(len - off, Aes128::kBlockBytes);
-        for (std::size_t i = 0; i < chunk; ++i)
-            data[off + i] ^= ctr_block[i];
-        off += chunk;
-        ++counter;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const std::size_t chunk =
+                std::min(len - off, Aes128::kBlockBytes);
+            for (std::size_t i = 0; i < chunk; ++i)
+                data[off + i] ^= keystream[b][i];
+            off += chunk;
+        }
+        counter += blocks;
     }
 }
 

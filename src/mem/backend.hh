@@ -100,9 +100,11 @@ class MemoryBackend
     /**
      * @{ Snapshot / restore of the functional contents; the
      * crash-injection framework uses this to model "persistent state
-     * survives, volatile state is lost".
+     * survives, volatile state is lost". The image is materialized on
+     * demand (backends are free to store contents in a different
+     * layout internally); all-zero lines may be elided.
      */
-    virtual const MemoryImage &image() const = 0;
+    virtual MemoryImage image() const = 0;
     virtual void restoreImage(const MemoryImage &img) = 0;
     /** @} */
 };

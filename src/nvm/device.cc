@@ -18,6 +18,7 @@ NvmDevice::NvmDevice(const NvmTimingParams &params, unsigned num_channels,
     channels_.reserve(num_channels);
     for (unsigned i = 0; i < num_channels; ++i)
         channels_.emplace_back(params, banks_per_channel);
+    pages_.resize((capacity_bytes + kPageBytes - 1) / kPageBytes);
 }
 
 void
@@ -46,15 +47,15 @@ NvmDevice::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
     std::size_t off = 0;
     while (off < len) {
         const Addr cur = addr + off;
-        const Addr line = cur / kBlockDataBytes;
-        const std::size_t in_line = cur % kBlockDataBytes;
+        const std::size_t in_page =
+            static_cast<std::size_t>(cur % kPageBytes);
         const std::size_t chunk =
-            std::min(len - off, kBlockDataBytes - in_line);
-        const auto it = store_.find(line);
-        if (it == store_.end())
+            std::min(len - off, kPageBytes - in_page);
+        const NvmPage *page = pages_[cur / kPageBytes].get();
+        if (page == nullptr)
             std::memset(out + off, 0, chunk);
         else
-            std::memcpy(out + off, it->second.data() + in_line, chunk);
+            std::memcpy(out + off, page->bytes.data() + in_page, chunk);
         off += chunk;
     }
 }
@@ -67,16 +68,26 @@ NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
     std::size_t off = 0;
     while (off < len) {
         const Addr cur = addr + off;
-        const Addr line = cur / kBlockDataBytes;
-        const std::size_t in_line = cur % kBlockDataBytes;
+        const std::size_t in_page =
+            static_cast<std::size_t>(cur % kPageBytes);
         const std::size_t chunk =
-            std::min(len - off, kBlockDataBytes - in_line);
-        auto &cell = store_[line]; // zero-initialized on first touch
-        std::memcpy(cell.data() + in_line, in + off, chunk);
+            std::min(len - off, kPageBytes - in_page);
+        auto &slot = pages_[cur / kPageBytes];
+        if (!slot)
+            slot = std::make_unique<NvmPage>();
+        std::memcpy(slot->bytes.data() + in_page, in + off, chunk);
 
-        const auto writes = ++wear_[line];
-        max_line_writes_ = std::max<std::uint64_t>(max_line_writes_,
-                                                   writes);
+        const std::size_t first_line = in_page / kBlockDataBytes;
+        const std::size_t last_line =
+            (in_page + chunk - 1) / kBlockDataBytes;
+        for (std::size_t l = first_line; l <= last_line; ++l) {
+            const std::uint32_t writes = ++slot->wear[l];
+            if (writes == 1)
+                ++distinct_lines_written_;
+            ++total_line_writes_;
+            if (writes > max_line_writes_)
+                max_line_writes_ = writes;
+        }
         off += chunk;
     }
 }
@@ -126,12 +137,10 @@ NvmDevice::totalWrites() const
 double
 NvmDevice::meanLineWrites() const
 {
-    if (wear_.empty())
+    if (distinct_lines_written_ == 0)
         return 0.0;
-    std::uint64_t total = 0;
-    for (const auto &[line, count] : wear_)
-        total += count;
-    return static_cast<double>(total) / static_cast<double>(wear_.size());
+    return static_cast<double>(total_line_writes_) /
+           static_cast<double>(distinct_lines_written_);
 }
 
 void
@@ -139,8 +148,59 @@ NvmDevice::resetStats()
 {
     for (auto &channel : channels_)
         channel.resetStats();
-    wear_.clear();
+    for (auto &slot : pages_)
+        if (slot)
+            slot->wear.fill(0);
+    distinct_lines_written_ = 0;
+    total_line_writes_ = 0;
     max_line_writes_ = 0;
+}
+
+MemoryImage
+NvmDevice::image() const
+{
+    // Materialize the sparse line map the snapshot interface promises.
+    // All-zero lines are elided: restoring them is indistinguishable
+    // from never having written them (unwritten lines read as zero).
+    static const NvmLine kZeroLine{};
+    MemoryImage img;
+    for (std::size_t p = 0; p < pages_.size(); ++p) {
+        const NvmPage *page = pages_[p].get();
+        if (page == nullptr)
+            continue;
+        for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+            const std::uint8_t *src =
+                page->bytes.data() + l * kBlockDataBytes;
+            if (std::memcmp(src, kZeroLine.data(), kBlockDataBytes) == 0)
+                continue;
+            NvmLine line;
+            std::memcpy(line.data(), src, kBlockDataBytes);
+            img.emplace(static_cast<Addr>(p) * kLinesPerPage + l, line);
+        }
+    }
+    return img;
+}
+
+void
+NvmDevice::restoreImage(const MemoryImage &img)
+{
+    // Data is restored; wear survives a snapshot/restore cycle (the
+    // cells were physically written regardless of what a crash rolls
+    // back), matching the previous line-map behaviour.
+    for (auto &slot : pages_)
+        if (slot)
+            slot->bytes.fill(0);
+    for (const auto &[line, data] : img) {
+        if (line >= pages_.size() * kLinesPerPage)
+            PSORAM_FATAL("image line ", line, " beyond device capacity ",
+                         capacity_);
+        auto &slot = pages_[line / kLinesPerPage];
+        if (!slot)
+            slot = std::make_unique<NvmPage>();
+        std::memcpy(slot->bytes.data() +
+                        (line % kLinesPerPage) * kBlockDataBytes,
+                    data.data(), kBlockDataBytes);
+    }
 }
 
 } // namespace psoram

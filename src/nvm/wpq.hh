@@ -13,22 +13,99 @@
 #ifndef PSORAM_NVM_WPQ_HH
 #define PSORAM_NVM_WPQ_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <deque>
+#include <iterator>
 #include <string>
-#include <vector>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/backend.hh"
 
 namespace psoram {
 
+/**
+ * Inline payload capacity of one WPQ entry. The largest thing ever
+ * queued is an encrypted tree slot (kSlotBytes = 96); PosMap records
+ * and shadow headers are smaller.
+ */
+inline constexpr std::size_t kWpqEntryBytes = 96;
+
+/**
+ * Fixed-capacity inline byte buffer with the slice of the std::vector
+ * interface the WPQ paths use. An eviction queues roughly one entry
+ * per path slot, so a heap-allocated payload per entry used to put an
+ * allocate/free pair on the hot loop for every slot of every access;
+ * inline storage makes a WpqEntry trivially movable plain data.
+ */
+class WpqBytes
+{
+  public:
+    using value_type = std::uint8_t;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::uint8_t *data() { return bytes_.data(); }
+    const std::uint8_t *data() const { return bytes_.data(); }
+    std::uint8_t *begin() { return bytes_.data(); }
+    std::uint8_t *end() { return bytes_.data() + size_; }
+    const std::uint8_t *begin() const { return bytes_.data(); }
+    const std::uint8_t *end() const { return bytes_.data() + size_; }
+    std::uint8_t &operator[](std::size_t i) { return bytes_[i]; }
+    std::uint8_t operator[](std::size_t i) const { return bytes_[i]; }
+
+    /** Grow/shrink; grown bytes read as zero (vector semantics). */
+    void
+    resize(std::size_t n)
+    {
+        checkFit(n);
+        if (n > size_)
+            std::memset(bytes_.data() + size_, 0, n - size_);
+        size_ = static_cast<std::uint32_t>(n);
+    }
+
+    void
+    assign(std::size_t n, std::uint8_t value)
+    {
+        checkFit(n);
+        std::memset(bytes_.data(), value, n);
+        size_ = static_cast<std::uint32_t>(n);
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        const auto n =
+            static_cast<std::size_t>(std::distance(first, last));
+        checkFit(n);
+        std::copy(first, last, bytes_.data());
+        size_ = static_cast<std::uint32_t>(n);
+    }
+
+  private:
+    void
+    checkFit(std::size_t n) const
+    {
+        if (n > kWpqEntryBytes)
+            PSORAM_PANIC("WPQ entry payload of ", n,
+                         " bytes exceeds the inline capacity of ",
+                         kWpqEntryBytes);
+    }
+
+    std::array<std::uint8_t, kWpqEntryBytes> bytes_{};
+    std::uint32_t size_ = 0;
+};
+
 /** One pending persistent write (an evicted block or a PosMap entry). */
 struct WpqEntry
 {
-    Addr addr;
-    std::vector<std::uint8_t> data;
+    Addr addr = 0;
+    WpqBytes data;
 };
 
 class Wpq

@@ -53,6 +53,20 @@ BlockCodec::applyStream(std::uint64_t iv, std::uint8_t *data,
     // inverse, mirroring CTR semantics.
     std::size_t off = 0;
     std::uint64_t counter = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // Whole lanes as single 64-bit XORs; on little-endian hosts the
+    // byte layout matches the per-byte shift loop below exactly.
+    while (off + 8 <= len) {
+        const std::uint64_t word = mix64(fast_key_ ^ iv ^ (counter *
+                                         0x9e3779b97f4a7c15ULL));
+        std::uint64_t lane;
+        std::memcpy(&lane, data + off, 8);
+        lane ^= word;
+        std::memcpy(data + off, &lane, 8);
+        off += 8;
+        ++counter;
+    }
+#endif
     while (off < len) {
         const std::uint64_t word = mix64(fast_key_ ^ iv ^ (counter *
                                          0x9e3779b97f4a7c15ULL));

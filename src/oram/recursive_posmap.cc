@@ -132,18 +132,24 @@ PosMapTreeLevel::accessEntry(std::uint64_t entry_index,
     // atomic WPQ bracket, so intra-eviction write ordering carries no
     // crash-consistency obligation here.
     const unsigned levels = geo_.levels();
-    std::vector<std::vector<PlainBlock>> plan(levels);
-    for (unsigned level = 0; level < levels; ++level)
-        plan[level].assign(geo_.bucket_slots, PlainBlock::dummy());
+    const unsigned z = geo_.bucket_slots;
+    evict_plan_.assign(static_cast<std::size_t>(levels) * z,
+                       PlainBlock::dummy());
 
+    // commonLevel is cached per entry; the cache mirrors the stash's
+    // swap-with-last removal so deepest-eligible tie-breaks stay
+    // bit-identical to the per-slot rescan this replaces.
+    evict_depths_.clear();
+    for (std::size_t i = 0; i < stash_.size(); ++i)
+        evict_depths_.push_back(
+            geo_.commonLevel(stash_.at(i).path, old_pos));
     for (int level = static_cast<int>(geo_.height); level >= 0;
          --level) {
-        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
+        for (unsigned s = 0; s < z; ++s) {
             std::size_t best = stash_.size();
             unsigned best_depth = 0;
             for (std::size_t i = 0; i < stash_.size(); ++i) {
-                const unsigned common =
-                    geo_.commonLevel(stash_.at(i).path, old_pos);
+                const unsigned common = evict_depths_[i];
                 if (common >= static_cast<unsigned>(level) &&
                     (best == stash_.size() || common > best_depth)) {
                     best = i;
@@ -152,8 +158,11 @@ PosMapTreeLevel::accessEntry(std::uint64_t entry_index,
             }
             if (best == stash_.size())
                 break;
-            plan[level][s] = stash_.at(best).toBlock();
+            evict_plan_[static_cast<std::size_t>(level) * z + s] =
+                stash_.at(best).toBlock();
             stash_.removeAt(best);
+            evict_depths_[best] = evict_depths_.back();
+            evict_depths_.pop_back();
         }
     }
     if (!stash_.empty())
@@ -164,14 +173,15 @@ PosMapTreeLevel::accessEntry(std::uint64_t entry_index,
     outcome.writes.reserve(geo_.blocksPerPath());
     for (unsigned level = 0; level < levels; ++level) {
         const BucketId bucket = geo_.bucketAt(old_pos, level);
-        for (unsigned s = 0; s < geo_.bucket_slots; ++s) {
+        for (unsigned s = 0; s < z; ++s) {
+            const PlainBlock &block =
+                evict_plan_[static_cast<std::size_t>(level) * z + s];
             EvictWrite write;
             write.addr = params_.layout.slotAddr(bucket, s);
-            write.data = codec_.encode(plan[level][s]);
+            write.data = codec_.encode(block);
             outcome.writes.push_back(write);
-            if (!plan[level][s].isDummy())
-                outcome.placed.emplace_back(plan[level][s].addr,
-                                            plan[level][s].path);
+            if (!block.isDummy())
+                outcome.placed.emplace_back(block.addr, block.path);
         }
     }
     return outcome;

@@ -147,6 +147,13 @@ class PosMapTreeLevel
     Rng &rng_;
     TreeGeometry geo_;
     Stash stash_;
+    /** @{ Eviction scratch, reused across accesses (no per-access
+     *  allocation): flat placement plan [level * z + slot] and the
+     *  per-entry commonLevel cache mirrored through swap-with-last
+     *  stash removals. */
+    std::vector<PlainBlock> evict_plan_;
+    std::vector<unsigned> evict_depths_;
+    /** @} */
     /** Volatile on-chip positions of entry blocks (lazy via resolver). */
     std::unordered_map<std::uint64_t, PathId> positions_;
     /** Blocks whose position is newer than its persisted entry. */

@@ -9,33 +9,28 @@ namespace psoram {
 Stash::Stash(std::size_t capacity) : capacity_(capacity)
 {
     entries_.reserve(capacity + 16);
+    index_.reserve(2 * capacity + 32);
 }
 
 StashEntry *
 Stash::find(BlockAddr addr)
 {
-    for (auto &entry : entries_)
-        if (!entry.is_backup && entry.addr == addr)
-            return &entry;
-    return nullptr;
+    const auto it = index_.find(keyOf(addr, false));
+    return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 const StashEntry *
 Stash::find(BlockAddr addr) const
 {
-    for (const auto &entry : entries_)
-        if (!entry.is_backup && entry.addr == addr)
-            return &entry;
-    return nullptr;
+    const auto it = index_.find(keyOf(addr, false));
+    return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 StashEntry *
 Stash::findBackup(BlockAddr addr)
 {
-    for (auto &entry : entries_)
-        if (entry.is_backup && entry.addr == addr)
-            return &entry;
-    return nullptr;
+    const auto it = index_.find(keyOf(addr, true));
+    return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 void
@@ -43,18 +38,39 @@ Stash::insert(const StashEntry &entry)
 {
     if (entry.addr == kDummyBlockAddr)
         PSORAM_PANIC("dummy blocks never enter the stash");
-    if (!entry.is_backup && find(entry.addr))
-        PSORAM_PANIC("duplicate live stash entry for block ", entry.addr);
-    if (entry.is_backup) {
-        if (StashEntry *old = findBackup(entry.addr)) {
-            *old = entry;
-            return;
-        }
+    const auto [it, fresh] = index_.try_emplace(
+        keyOf(entry.addr, entry.is_backup), entries_.size());
+    if (!fresh) {
+        if (!entry.is_backup)
+            PSORAM_PANIC("duplicate live stash entry for block ",
+                         entry.addr);
+        // Duplicate backup: replace in place. The vector position,
+        // index record and occupancy stats all stay as they are —
+        // size() is unchanged, so no peak/overflow accounting.
+        entries_[it->second] = entry;
+        return;
     }
     entries_.push_back(entry);
+    if (!entry.is_backup)
+        ++live_count_;
     peak_ = std::max(peak_, entries_.size());
     if (entries_.size() > capacity_)
         ++overflows_;
+}
+
+void
+Stash::eraseAt(std::size_t index)
+{
+    const StashEntry &victim = entries_[index];
+    if (!victim.is_backup)
+        --live_count_;
+    index_.erase(keyOf(victim.addr, victim.is_backup));
+    if (index + 1 != entries_.size()) {
+        entries_[index] = entries_.back();
+        index_[keyOf(entries_[index].addr, entries_[index].is_backup)] =
+            index;
+    }
+    entries_.pop_back();
 }
 
 void
@@ -62,34 +78,35 @@ Stash::removeAt(std::size_t index)
 {
     if (index >= entries_.size())
         PSORAM_PANIC("stash removeAt out of range");
-    entries_[index] = entries_.back();
-    entries_.pop_back();
+    eraseAt(index);
 }
 
 bool
 Stash::remove(BlockAddr addr)
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (!entries_[i].is_backup && entries_[i].addr == addr) {
-            removeAt(i);
-            return true;
-        }
-    }
-    return false;
+    const auto it = index_.find(keyOf(addr, false));
+    if (it == index_.end())
+        return false;
+    eraseAt(it->second);
+    return true;
+}
+
+bool
+Stash::removeBackup(BlockAddr addr)
+{
+    const auto it = index_.find(keyOf(addr, true));
+    if (it == index_.end())
+        return false;
+    eraseAt(it->second);
+    return true;
 }
 
 void
 Stash::clear()
 {
     entries_.clear();
-}
-
-std::size_t
-Stash::liveSize() const
-{
-    return static_cast<std::size_t>(
-        std::count_if(entries_.begin(), entries_.end(),
-                      [](const StashEntry &e) { return !e.is_backup; }));
+    index_.clear();
+    live_count_ = 0;
 }
 
 void

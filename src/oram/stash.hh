@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -40,6 +41,18 @@ struct StashEntry
     }
 };
 
+/**
+ * The stash keeps an O(1) hash index over (addr, is_backup) alongside
+ * the dense entry vector, so the hot per-slot lookups of the path load
+ * and eviction phases cost one hash probe instead of a linear scan.
+ *
+ * Index invariants (maintained by every mutator):
+ *   - every entry in entries_ has exactly one index record keyed by
+ *     (addr, is_backup) whose value is its current vector position;
+ *   - removeAt() swap-with-last re-points the moved entry's record;
+ *   - callers may mutate path/epoch/data through find() pointers, but
+ *     never addr or is_backup (those are the key).
+ */
 class Stash
 {
   public:
@@ -65,6 +78,9 @@ class Stash
     /** Remove the live entry for @p addr if present. */
     bool remove(BlockAddr addr);
 
+    /** Remove the backup entry for @p addr if present. */
+    bool removeBackup(BlockAddr addr);
+
     /** Drop everything (crash: the stash is volatile). */
     void clear();
 
@@ -73,7 +89,7 @@ class Stash
     std::size_t capacity() const { return capacity_; }
 
     /** Entries counting toward ORAM occupancy analysis (live only). */
-    std::size_t liveSize() const;
+    std::size_t liveSize() const { return live_count_; }
 
     StashEntry &at(std::size_t index) { return entries_[index]; }
     const StashEntry &at(std::size_t index) const
@@ -93,8 +109,22 @@ class Stash
     void sampleOccupancy();
 
   private:
+    /** Index key: address plus the backup bit in the low bit. */
+    static std::uint64_t
+    keyOf(BlockAddr addr, bool is_backup)
+    {
+        return (static_cast<std::uint64_t>(addr) << 1) |
+               (is_backup ? 1u : 0u);
+    }
+
+    void eraseAt(std::size_t index);
+
     std::size_t capacity_;
     std::vector<StashEntry> entries_;
+    /** (addr, is_backup) -> position in entries_. */
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+    /** Non-backup entry count (kept coherent with the index). */
+    std::size_t live_count_ = 0;
     Counter overflows_;
     std::size_t peak_ = 0;
     Distribution occupancy_;

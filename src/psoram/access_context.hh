@@ -58,6 +58,28 @@ struct AccessContext
 
     /** Per-access outcome returned to the caller. */
     OramAccessInfo info;
+
+    /**
+     * Reset to the freshly-constructed state while keeping vector
+     * capacity, so one context can be reused across accesses without
+     * per-access heap allocation. Also recovers from a context left
+     * mid-flight by an injected CrashEvent.
+     */
+    void
+    reset()
+    {
+        addr = kDummyBlockAddr;
+        is_write = false;
+        start = 0;
+        t = 0;
+        leaf = kInvalidPath;
+        new_leaf = kInvalidPath;
+        pom_after_data = 0;
+        slots.clear();
+        bundle.data_writes.clear();
+        bundle.posmap_writes.clear();
+        info = OramAccessInfo{};
+    }
 };
 
 } // namespace psoram

@@ -6,6 +6,9 @@
 
 namespace psoram {
 
+static_assert(kSlotBytes <= kWpqEntryBytes,
+              "encrypted tree slots must fit a WPQ entry inline");
+
 void
 Evictor::run(AccessContext &ctx)
 {
@@ -15,34 +18,30 @@ Evictor::run(AccessContext &ctx)
     Stash &stash = env_.stash;
     const unsigned levels = geo.levels();
     const unsigned z = geo.bucket_slots;
+    const std::size_t path_slots = static_cast<std::size_t>(levels) * z;
 
-    // Placement plan: plan[level][slot].
-    std::vector<std::vector<PlainBlock>> plan(levels);
-    std::vector<std::vector<bool>> used(levels);
-    for (unsigned level = 0; level < levels; ++level) {
-        plan[level].assign(z, PlainBlock::dummy());
-        used[level].assign(z, false);
-    }
+    // Placement plan, slot-indexed as [level * z + slot].
+    EvictScratch &sc = scratch_;
+    sc.plan.assign(path_slots, PlainBlock::dummy());
+    sc.used.assign(path_slots, 0);
+    sc.prev_live.assign(path_slots, 0);
+    sc.slot_writer.assign(path_slots, 0);
+    sc.placed.clear();
+    sc.data_writes.clear();
 
-    /** Record of which blocks were placed (for commit bookkeeping). */
-    struct Placed
-    {
-        BlockAddr addr;
-        PathId path;
-        std::uint32_t epoch;
-        std::array<std::uint8_t, kBlockDataBytes> data;
-        bool is_backup;
-        std::size_t write_index; // filled when writes are emitted
-        unsigned level, slot;
+    const auto slotIx = [z](unsigned level, unsigned s) {
+        return static_cast<std::size_t>(level) * z + s;
     };
-    std::vector<Placed> placed;
 
     const auto place = [&](const StashEntry &e, unsigned level,
                            unsigned slot) {
-        plan[level][slot] = e.toBlock();
-        used[level][slot] = true;
-        placed.push_back(Placed{e.addr, e.path, e.epoch, e.data,
-                                e.is_backup, 0, level, slot});
+        const std::size_t ix = slotIx(level, slot);
+        sc.plan[ix] = e.toBlock();
+        sc.used[ix] = 1;
+        sc.slot_writer[ix] =
+            static_cast<std::uint32_t>(sc.placed.size() + 1);
+        sc.placed.push_back(Placed{e.addr, e.path, e.epoch, e.data,
+                                   e.is_backup, 0, level, slot});
     };
 
     // Non-recursive PS designs use *safe placement* so that multi-round
@@ -52,15 +51,12 @@ Evictor::run(AccessContext &ctx)
     // greedy placement.
     const bool safe_placement = env_.persistent() && !env_.recursive();
 
-    // prev_live[level][slot]: the slot held a live block before this
-    // eviction. Writes over such slots must commit after the writes
-    // that relocate their contents (emission group 2 below).
-    std::vector<std::vector<bool>> prev_live(levels);
-    for (unsigned level = 0; level < levels; ++level)
-        prev_live[level].assign(z, false);
+    // prev_live[slot]: the slot held a live block before this eviction.
+    // Writes over such slots must commit after the writes that relocate
+    // their contents (emission group 2 below).
     for (const LoadedSlot &ls : ctx.slots)
         if (ls.addr != kDummyBlockAddr)
-            prev_live[ls.level][ls.slot] = true;
+            sc.prev_live[slotIx(ls.level, ls.slot)] = 1;
 
     if (safe_placement) {
         // Pass 0: backup copies return to the very slot their block
@@ -74,48 +70,53 @@ Evictor::run(AccessContext &ctx)
             if (!backup)
                 continue;
             place(*backup, ls.level, ls.slot);
-            for (std::size_t i = 0; i < stash.size(); ++i) {
-                if (stash.at(i).is_backup &&
-                    stash.at(i).addr == ls.addr) {
-                    stash.removeAt(i);
-                    break;
-                }
-            }
+            stash.removeBackup(ls.addr);
         }
 
         // Pass A (sink): every live stash entry — loaded, carried and
         // the target — may drop into a free slot that previously held a
-        // dummy or stale block (unconditionally overwrite-safe).
-        struct Cand
-        {
-            BlockAddr addr;
-            unsigned max_level;
-        };
-        std::vector<Cand> cands;
+        // dummy or stale block (unconditionally overwrite-safe). Free
+        // slots are listed per level in ascending order up front;
+        // consuming them through a cursor picks exactly the slot the
+        // old per-candidate rescan found.
+        sc.free_slots.assign(path_slots, 0);
+        sc.free_count.assign(levels, 0);
+        sc.free_cursor.assign(levels, 0);
+        for (unsigned level = 0; level < levels; ++level)
+            for (unsigned s = 0; s < z; ++s) {
+                const std::size_t ix = slotIx(level, s);
+                if (!sc.used[ix] && !sc.prev_live[ix])
+                    sc.free_slots[slotIx(level,
+                                         sc.free_count[level]++)] = s;
+            }
+
+        sc.cands.clear();
         for (std::size_t i = 0; i < stash.size(); ++i) {
             const StashEntry &e = stash.at(i);
             if (e.is_backup)
                 continue;
-            cands.push_back(
+            sc.cands.push_back(
                 Cand{e.addr, geo.commonLevel(e.path, leaf)});
         }
-        std::sort(cands.begin(), cands.end(),
+        std::sort(sc.cands.begin(), sc.cands.end(),
                   [](const Cand &a, const Cand &b) {
                       return a.max_level > b.max_level;
                   });
-        for (const Cand &cand : cands) {
-            StashEntry *e = stash.find(cand.addr);
-            bool done = false;
+        for (const Cand &cand : sc.cands) {
             for (int level = static_cast<int>(cand.max_level);
-                 level >= 0 && !done; --level) {
-                for (unsigned s = 0; s < z; ++s) {
-                    if (used[level][s] || prev_live[level][s])
-                        continue;
-                    place(*e, static_cast<unsigned>(level), s);
-                    stash.remove(cand.addr);
-                    done = true;
-                    break;
-                }
+                 level >= 0; --level) {
+                std::uint32_t &cur =
+                    sc.free_cursor[static_cast<unsigned>(level)];
+                if (cur ==
+                    sc.free_count[static_cast<unsigned>(level)])
+                    continue;
+                const unsigned s = sc.free_slots[slotIx(
+                    static_cast<unsigned>(level), cur)];
+                ++cur;
+                place(*stash.find(cand.addr),
+                      static_cast<unsigned>(level), s);
+                stash.remove(cand.addr);
+                break;
             }
         }
 
@@ -123,7 +124,7 @@ Evictor::run(AccessContext &ctx)
         // their own slot.
         for (const LoadedSlot &ls : ctx.slots) {
             if (ls.addr == kDummyBlockAddr || ls.is_backup_site ||
-                ls.addr == addr || used[ls.level][ls.slot])
+                ls.addr == addr || sc.used[slotIx(ls.level, ls.slot)])
                 continue;
             StashEntry *resident = stash.find(ls.addr);
             if (!resident || env_.temp.get(ls.addr))
@@ -134,7 +135,16 @@ Evictor::run(AccessContext &ctx)
 
         // Pass C (vacated): remaining carried blocks may take slots
         // vacated by blocks that sank in pass A — those writes are
-        // emitted in group 2, after the sunk copies are durable.
+        // emitted in group 2, after the sunk copies are durable. The
+        // free lists are rebuilt over every still-unused slot.
+        sc.free_count.assign(levels, 0);
+        sc.free_cursor.assign(levels, 0);
+        for (unsigned level = 0; level < levels; ++level)
+            for (unsigned s = 0; s < z; ++s)
+                if (!sc.used[slotIx(level, s)])
+                    sc.free_slots[slotIx(level,
+                                         sc.free_count[level]++)] = s;
+
         for (std::size_t i = 0; i < stash.size();) {
             const StashEntry &e = stash.at(i);
             if (e.is_backup) {
@@ -145,13 +155,16 @@ Evictor::run(AccessContext &ctx)
             bool done = false;
             for (int level = static_cast<int>(max_level);
                  level >= 0 && !done; --level) {
-                for (unsigned s = 0; s < z; ++s) {
-                    if (used[level][s])
-                        continue;
-                    place(e, static_cast<unsigned>(level), s);
-                    done = true;
-                    break;
-                }
+                std::uint32_t &cur =
+                    sc.free_cursor[static_cast<unsigned>(level)];
+                if (cur ==
+                    sc.free_count[static_cast<unsigned>(level)])
+                    continue;
+                place(e, static_cast<unsigned>(level),
+                      sc.free_slots[slotIx(static_cast<unsigned>(level),
+                                           cur)]);
+                ++cur;
+                done = true;
             }
             if (done)
                 stash.removeAt(i);
@@ -160,6 +173,14 @@ Evictor::run(AccessContext &ctx)
         }
     } else {
         // Classic greedy eviction, leaf-first (no crash guarantees).
+        // commonLevel is computed once per entry; the cache mirrors the
+        // stash's swap-with-last removal so positions stay aligned and
+        // the deepest-eligible tie-breaks (earliest position wins) are
+        // bit-identical to the per-slot rescan this replaces.
+        sc.depths.clear();
+        for (std::size_t i = 0; i < stash.size(); ++i)
+            sc.depths.push_back(
+                geo.commonLevel(stash.at(i).path, leaf));
         for (int level = static_cast<int>(geo.height); level >= 0;
              --level) {
             for (unsigned s = 0; s < z; ++s) {
@@ -167,9 +188,7 @@ Evictor::run(AccessContext &ctx)
                 std::size_t best = stash.size();
                 unsigned best_depth = 0;
                 for (std::size_t i = 0; i < stash.size(); ++i) {
-                    const StashEntry &e = stash.at(i);
-                    const unsigned common =
-                        geo.commonLevel(e.path, leaf);
+                    const unsigned common = sc.depths[i];
                     if (common >= static_cast<unsigned>(level) &&
                         (best == stash.size() ||
                          common > best_depth)) {
@@ -181,6 +200,8 @@ Evictor::run(AccessContext &ctx)
                     break;
                 place(stash.at(best), static_cast<unsigned>(level), s);
                 stash.removeAt(best);
+                sc.depths[best] = sc.depths.back();
+                sc.depths.pop_back();
             }
         }
     }
@@ -196,25 +217,25 @@ Evictor::run(AccessContext &ctx)
     // held live blocks (identity rewrites, backup sites, and slots
     // vacated by group-1 relocations). The drainer preserves push order
     // across WPQ rounds, so any committed prefix is recoverable.
-    std::vector<WpqEntry> data_writes;
-    data_writes.reserve(geo.blocksPerPath());
+    sc.data_writes.reserve(geo.blocksPerPath());
     const auto emitGroup = [&](bool live_group) {
         for (unsigned level = 0; level < levels; ++level) {
             const BucketId bucket = geo.bucketAt(leaf, level);
             for (unsigned s = 0; s < z; ++s) {
+                const std::size_t ix = slotIx(level, s);
                 if (safe_placement &&
-                    prev_live[level][s] != live_group)
+                    (sc.prev_live[ix] != 0) != live_group)
                     continue;
-                WpqEntry write;
+                sc.data_writes.emplace_back();
+                WpqEntry &write = sc.data_writes.back();
                 write.addr = env_.params.data_layout.slotAddr(bucket, s);
                 const SlotBytes slot_bytes =
-                    env_.codec.encode(plan[level][s]);
+                    env_.codec.encode(sc.plan[ix]);
                 write.data.assign(slot_bytes.begin(),
                                   slot_bytes.end());
-                for (Placed &p : placed)
-                    if (p.level == level && p.slot == s)
-                        p.write_index = data_writes.size() + 1;
-                data_writes.push_back(std::move(write));
+                if (const std::uint32_t pi = sc.slot_writer[ix])
+                    sc.placed[pi - 1].write_index =
+                        sc.data_writes.size();
             }
         }
     };
@@ -231,7 +252,7 @@ Evictor::run(AccessContext &ctx)
             // FullNVM: the eviction candidates stream out of the
             // on-chip NVM stash first (bank-pipelined phase).
             Cycle read_phase = issue;
-            for (std::size_t i = 0; i < data_writes.size(); ++i)
+            for (std::size_t i = 0; i < sc.data_writes.size(); ++i)
                 read_phase = std::max(read_phase,
                                       env_.onChipRead(issue));
             issue = read_phase;
@@ -239,13 +260,13 @@ Evictor::run(AccessContext &ctx)
         Cycle proc = issue;
         Cycle done = issue;
         std::size_t count = 0;
-        for (const WpqEntry &write : data_writes) {
+        for (const WpqEntry &write : sc.data_writes) {
             proc += env_.params.controller_block_cycles;
             env_.device.writeBytes(write.addr, write.data.data(),
                                    write.data.size());
             done = std::max(done, env_.device.accessOne(write.addr,
                                                         true, proc));
-            if (++count == data_writes.size() / 2)
+            if (++count == sc.data_writes.size() / 2)
                 env_.crashCheck(CrashSite::DuringDirectEviction);
         }
         ctx.t = done;
@@ -253,13 +274,15 @@ Evictor::run(AccessContext &ctx)
     }
 
     // PS designs: assemble the bundle and run the atomic WPQ protocol.
+    // Swapping (rather than moving) the write list keeps both vectors'
+    // capacity alive across the ctx/scratch reuse cycle.
     EvictionBundle &bundle = ctx.bundle;
-    bundle.data_writes = std::move(data_writes);
+    bundle.data_writes.swap(sc.data_writes);
 
     // Find where the accessed block became durable in this bundle: its
     // placed data slot, or the shadow region (recursive designs).
     std::size_t target_durable_at = 0;
-    for (const Placed &p : placed)
+    for (const Placed &p : sc.placed)
         if (p.addr == addr && !p.is_backup)
             target_durable_at = p.write_index;
 
@@ -267,7 +290,7 @@ Evictor::run(AccessContext &ctx)
         if (env_.params.design.persist == PersistMode::DirtyOnly) {
             // Step 5-A: only dirty temporary-PosMap entries of blocks
             // that return to the tree in this round are persisted.
-            for (const Placed &p : placed) {
+            for (const Placed &p : sc.placed) {
                 if (p.is_backup)
                     continue;
                 const auto pending = env_.temp.get(p.addr);
@@ -283,15 +306,20 @@ Evictor::run(AccessContext &ctx)
                 bundle.posmap_writes.push_back(std::move(pw));
             }
         } else { // NaiveAll
-            // One metadata write per path slot, real or dummy.
+            // One metadata write per path slot, real or dummy. The
+            // write-index -> placement map inverts slot_writer so each
+            // slot costs one lookup instead of a scan over placed.
+            sc.write_placed.assign(bundle.data_writes.size(), 0);
+            for (std::size_t p = 0; p < sc.placed.size(); ++p)
+                sc.write_placed[sc.placed[p].write_index - 1] =
+                    static_cast<std::uint32_t>(p + 1);
             for (std::size_t i = 0; i < bundle.data_writes.size();
                  ++i) {
                 PosmapWrite pw;
                 pw.after_data = i + 1;
-                bool real = false;
-                for (const Placed &p : placed) {
-                    if (p.is_backup || p.write_index != i + 1)
-                        continue;
+                const std::uint32_t pi = sc.write_placed[i];
+                if (pi != 0 && !sc.placed[pi - 1].is_backup) {
+                    const Placed &p = sc.placed[pi - 1];
                     const auto pending = env_.temp.get(p.addr);
                     const PathId path =
                         pending ? *pending : p.path;
@@ -300,10 +328,7 @@ Evictor::run(AccessContext &ctx)
                     const auto record = PersistentPosMap::encodeRecord(
                         path, p.epoch);
                     pw.entry.data.assign(record.begin(), record.end());
-                    real = true;
-                    break;
-                }
-                if (!real) {
+                } else {
                     // Dummy slot: a scratch metadata write (the Naive
                     // design persists every entry indiscriminately).
                     pw.entry.addr = env_.params.naive_scratch_base +
@@ -357,7 +382,7 @@ Evictor::run(AccessContext &ctx)
     // Post-commit bookkeeping: merge committed remaps into the main
     // PosMap (functionally already durable via the drained region
     // writes) and report durable data to the test oracle.
-    for (const Placed &p : placed) {
+    for (const Placed &p : sc.placed) {
         if (p.is_backup)
             continue;
         if (!env_.recursive()) {

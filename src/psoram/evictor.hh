@@ -14,6 +14,12 @@
 #ifndef PSORAM_PSORAM_EVICTOR_HH
 #define PSORAM_PSORAM_EVICTOR_HH
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nvm/wpq.hh"
+#include "oram/block.hh"
 #include "psoram/access_context.hh"
 #include "psoram/phase_env.hh"
 
@@ -34,7 +40,54 @@ class Evictor
     void run(AccessContext &ctx);
 
   private:
+    /** Record of one placement (for commit bookkeeping). */
+    struct Placed
+    {
+        BlockAddr addr;
+        PathId path;
+        std::uint32_t epoch;
+        std::array<std::uint8_t, kBlockDataBytes> data;
+        bool is_backup;
+        std::size_t write_index; // filled when writes are emitted
+        unsigned level, slot;
+    };
+
+    /** Pass-A sink candidate: a live stash entry and its max depth. */
+    struct Cand
+    {
+        BlockAddr addr;
+        unsigned max_level;
+    };
+
+    /**
+     * Per-access working set, preallocated and reused across run()
+     * calls (clearing keeps vector capacity) so the eviction performs
+     * no heap allocation in steady state. Path-indexed vectors use
+     * [level * bucket_slots + slot].
+     */
+    struct EvictScratch
+    {
+        std::vector<PlainBlock> plan;
+        std::vector<std::uint8_t> used;
+        std::vector<std::uint8_t> prev_live;
+        /** Slot -> 1 + index into placed (0 = path dummy). */
+        std::vector<std::uint32_t> slot_writer;
+        std::vector<Placed> placed;
+        std::vector<Cand> cands;
+        /** Per-level ascending free-slot lists with fill/consume marks. */
+        std::vector<std::uint32_t> free_slots;
+        std::vector<std::uint32_t> free_count;
+        std::vector<std::uint32_t> free_cursor;
+        /** Greedy eviction: cached commonLevel per stash position,
+         *  mirrored through the stash's swap-with-last removals. */
+        std::vector<unsigned> depths;
+        /** Data-write index -> 1 + index into placed (0 = dummy). */
+        std::vector<std::uint32_t> write_placed;
+        std::vector<WpqEntry> data_writes;
+    };
+
     PhaseEnv &env_;
+    EvictScratch scratch_;
 };
 
 } // namespace psoram

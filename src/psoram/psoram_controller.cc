@@ -175,7 +175,8 @@ PsOramController::access(BlockAddr addr, bool is_write,
         return info;
     }
 
-    AccessContext ctx;
+    AccessContext &ctx = ctx_;
+    ctx.reset();
     ctx.addr = addr;
     ctx.is_write = is_write;
     ctx.start = ctx.t = now_;

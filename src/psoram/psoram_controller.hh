@@ -215,6 +215,9 @@ class PsOramController
     Counter accesses_;
     ProtocolCounters counters_;
 
+    /** Reused per-access context (reset() keeps vector capacity). */
+    AccessContext ctx_;
+
     /** @{ Protocol phases (constructed over env_ after all state). */
     std::unique_ptr<PhaseEnv> env_;
     std::unique_ptr<Remapper> remapper_;

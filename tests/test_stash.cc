@@ -130,5 +130,114 @@ TEST(Stash, RemoveAtSwapsWithLast)
     EXPECT_DEATH(stash.removeAt(5), "out of range");
 }
 
+TEST(Stash, RemoveBackupOnlyTouchesBackup)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(1, 20, true));
+    EXPECT_FALSE(stash.removeBackup(2)); // absent address
+    EXPECT_TRUE(stash.removeBackup(1));
+    EXPECT_EQ(stash.findBackup(1), nullptr);
+    ASSERT_NE(stash.find(1), nullptr); // live entry untouched
+    EXPECT_FALSE(stash.removeBackup(1)); // already gone
+}
+
+TEST(Stash, LiveSizeTracksBackupsAndRemovals)
+{
+    Stash stash(8);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(2, 20));
+    stash.insert(entry(1, 30, true));
+    EXPECT_EQ(stash.size(), 3u);
+    EXPECT_EQ(stash.liveSize(), 2u);
+
+    // Replacing a backup changes neither size nor live size.
+    stash.insert(entry(1, 40, true));
+    EXPECT_EQ(stash.size(), 3u);
+    EXPECT_EQ(stash.liveSize(), 2u);
+    EXPECT_EQ(stash.findBackup(1)->path, 40u);
+
+    EXPECT_TRUE(stash.removeBackup(1));
+    EXPECT_EQ(stash.liveSize(), 2u);
+    EXPECT_TRUE(stash.remove(2));
+    EXPECT_EQ(stash.liveSize(), 1u);
+    stash.clear();
+    EXPECT_EQ(stash.liveSize(), 0u);
+}
+
+TEST(Stash, BackupReplacementKeepsOccupancyStats)
+{
+    // A duplicate backup replaces in place: peak size and overflow
+    // accounting must not move (regression for the index refactor).
+    Stash stash(2);
+    stash.insert(entry(1, 10));
+    stash.insert(entry(1, 20, true));
+    EXPECT_EQ(stash.peakSize(), 2u);
+    EXPECT_EQ(stash.overflowEvents(), 0u);
+    stash.insert(entry(1, 30, true));
+    stash.insert(entry(1, 40, true));
+    EXPECT_EQ(stash.size(), 2u);
+    EXPECT_EQ(stash.peakSize(), 2u);
+    EXPECT_EQ(stash.overflowEvents(), 0u);
+}
+
+// The hash index must stay coherent through a long interleaving of
+// inserts, keyed removals, positional (swap-with-last) removals and
+// backup replacement: find()/findBackup() agree with a linear scan at
+// every step.
+TEST(Stash, IndexMatchesLinearScanUnderChurn)
+{
+    Stash stash(64);
+    std::uint64_t rng = 12345;
+    const auto next = [&rng] {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        return rng >> 33;
+    };
+
+    const auto scanFor = [&](BlockAddr addr,
+                             bool backup) -> const StashEntry * {
+        for (std::size_t i = 0; i < stash.size(); ++i)
+            if (stash.at(i).addr == addr &&
+                stash.at(i).is_backup == backup)
+                return &stash.at(i);
+        return nullptr;
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+        const BlockAddr addr = next() % 24;
+        const bool backup = next() % 2 == 0;
+        switch (next() % 4) {
+        case 0:
+            if (backup || scanFor(addr, false) == nullptr)
+                stash.insert(entry(addr, static_cast<PathId>(next()),
+                                   backup));
+            break;
+        case 1:
+            EXPECT_EQ(stash.remove(addr),
+                      scanFor(addr, false) != nullptr);
+            break;
+        case 2:
+            EXPECT_EQ(stash.removeBackup(addr),
+                      scanFor(addr, true) != nullptr);
+            break;
+        case 3:
+            if (!stash.empty())
+                stash.removeAt(next() % stash.size());
+            break;
+        }
+
+        // Full cross-check of index vs scan for a sample of keys.
+        for (BlockAddr a = 0; a < 24; ++a) {
+            EXPECT_EQ(stash.find(a), scanFor(a, false)) << "addr " << a;
+            EXPECT_EQ(stash.findBackup(a), scanFor(a, true))
+                << "addr " << a;
+        }
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < stash.size(); ++i)
+            live += stash.at(i).is_backup ? 0 : 1;
+        EXPECT_EQ(stash.liveSize(), live);
+    }
+}
+
 } // namespace
 } // namespace psoram

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tree-traffic equivalence: the hot-path optimizations (indexed stash,
+ * single-pass evictor, batched AES-NI CTR, preallocated access
+ * buffers) must not change a single byte of what the ORAM controller
+ * exchanges with the NVM — the obliviousness and crash-consistency
+ * arguments are made about the memory-bus sequence, so lookup-cost
+ * changes must leave it bit-identical.
+ *
+ * Every functional device operation (reads: op/addr/len; writes:
+ * op/addr/len/payload) is folded into one FNV-1a digest over a
+ * fixed-seed access mix. The golden digests below were captured from
+ * the pre-optimization implementation (PR 1 tree, commit 8d9f9a8) and
+ * pin the exact bucket write sequence including eviction placement
+ * tie-breaks and the CTR keystream.
+ *
+ * Run with PSORAM_PRINT_TRAFFIC=1 to print digests (for re-capturing
+ * after an *intentional* protocol change — never after a perf change).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+
+#include "nvm/device.hh"
+#include "nvm/timing.hh"
+#include "sim/system.hh"
+
+namespace psoram {
+namespace {
+
+/** Forwards to an inner backend, digesting the functional traffic. */
+class HashingBackend final : public MemoryBackend
+{
+  public:
+    explicit HashingBackend(MemoryBackend &inner) : inner_(inner) {}
+
+    void
+    readBytes(Addr addr, std::uint8_t *out,
+              std::size_t len) const override
+    {
+        inner_.readBytes(addr, out, len);
+        mixOp('R', addr, len);
+    }
+
+    void
+    writeBytes(Addr addr, const std::uint8_t *in,
+               std::size_t len) override
+    {
+        mixOp('W', addr, len);
+        for (std::size_t i = 0; i < len; ++i)
+            mixByte(in[i]);
+        inner_.writeBytes(addr, in, len);
+    }
+
+    Cycle
+    access(Addr addr, std::size_t len, bool is_write,
+           Cycle earliest) override
+    {
+        return inner_.access(addr, len, is_write, earliest);
+    }
+
+    Cycle
+    accessOne(Addr addr, bool is_write, Cycle earliest) override
+    {
+        return inner_.accessOne(addr, is_write, earliest);
+    }
+
+    std::uint64_t capacity() const override { return inner_.capacity(); }
+    std::uint64_t totalReads() const override
+    {
+        return inner_.totalReads();
+    }
+    std::uint64_t totalWrites() const override
+    {
+        return inner_.totalWrites();
+    }
+    std::uint64_t distinctLinesWritten() const override
+    {
+        return inner_.distinctLinesWritten();
+    }
+    std::uint64_t maxLineWrites() const override
+    {
+        return inner_.maxLineWrites();
+    }
+    double meanLineWrites() const override
+    {
+        return inner_.meanLineWrites();
+    }
+    void resetStats() override { inner_.resetStats(); }
+    MemoryImage image() const override { return inner_.image(); }
+    void
+    restoreImage(const MemoryImage &img) override
+    {
+        inner_.restoreImage(img);
+    }
+
+    std::uint64_t digest() const { return hash_; }
+    std::uint64_t operations() const { return ops_; }
+
+  private:
+    void
+    mixByte(std::uint8_t b) const
+    {
+        hash_ = (hash_ ^ b) * 0x100000001b3ULL; // FNV-1a 64
+    }
+
+    void
+    mixOp(std::uint8_t op, Addr addr, std::size_t len) const
+    {
+        ++ops_;
+        mixByte(op);
+        for (int shift = 0; shift < 64; shift += 8)
+            mixByte(static_cast<std::uint8_t>(addr >> shift));
+        for (int shift = 0; shift < 32; shift += 8)
+            mixByte(static_cast<std::uint8_t>(len >> shift));
+    }
+
+    MemoryBackend &inner_;
+    mutable std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+    mutable std::uint64_t ops_ = 0;
+};
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+runTrafficDigest(DesignKind design, CipherKind cipher,
+                 std::uint64_t accesses)
+{
+    SystemConfig config;
+    config.design = design;
+    config.tree_height = 10;
+    config.cipher = cipher;
+    config.seed = 7;
+    const PsOramParams params = systemParams(config);
+
+    // Capacity layout mirrors buildSystem (scratch region is last).
+    const Addr last = params.naive_scratch_base +
+                      params.data_layout.geometry.blocksPerPath() *
+                          kBlockDataBytes;
+    const std::uint64_t capacity =
+        ((last + 4095) & ~Addr{4095}) + (1ULL << 20);
+
+    NvmDevice device(timingsFor(config.main_tech), config.channels,
+                     config.banks_per_channel, capacity);
+    HashingBackend hashed(device);
+    PsOramController controller(params, hashed);
+
+    std::uint64_t rng = 0x70736f72616dULL ^
+                        (static_cast<std::uint64_t>(design) << 56);
+    std::array<std::uint8_t, kBlockDataBytes> buf{};
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const std::uint64_t draw = splitmix64(rng);
+        const BlockAddr addr = draw % params.num_blocks;
+        if (draw & (1ULL << 40)) {
+            for (std::size_t b = 0; b < buf.size(); ++b)
+                buf[b] = static_cast<std::uint8_t>(draw >> (b % 8));
+            controller.write(addr, buf.data());
+        } else {
+            controller.read(addr, buf.data());
+        }
+    }
+    return hashed.digest();
+}
+
+void
+expectDigest(DesignKind design, CipherKind cipher,
+             std::uint64_t accesses, std::uint64_t golden)
+{
+    const std::uint64_t digest =
+        runTrafficDigest(design, cipher, accesses);
+    if (std::getenv("PSORAM_PRINT_TRAFFIC") != nullptr) {
+        std::cout << "TRAFFIC_DIGEST design=" << static_cast<int>(design)
+                  << " cipher=" << (cipher == CipherKind::Aes128Ctr
+                                        ? "aes" : "fast")
+                  << " accesses=" << accesses << " digest=0x" << std::hex
+                  << digest << std::dec << "\n";
+        return;
+    }
+    EXPECT_EQ(digest, golden);
+}
+
+// 10k-access run of the flagship design, with the real AES-CTR codec:
+// pins safe placement, the backup protocol, WPQ round splitting, the
+// persistent-PosMap metadata writes AND the exact keystream bytes.
+TEST(TrafficEquivalence, PsOramAesCtr10k)
+{
+    expectDigest(DesignKind::PsOram, CipherKind::Aes128Ctr, 10'000,
+                 0x9bd8cfa78442b22eULL);
+}
+
+// Classic greedy eviction (non-persistent baseline) — pins the
+// deepest-eligible candidate selection including its tie-breaks.
+TEST(TrafficEquivalence, BaselineGreedy6k)
+{
+    expectDigest(DesignKind::Baseline, CipherKind::FastStream, 6'000,
+                 0xacd7960772d6fe8aULL);
+}
+
+// Naive-PS-ORAM: one metadata write per path slot (NaiveAll mode).
+TEST(TrafficEquivalence, NaivePsOram4k)
+{
+    expectDigest(DesignKind::NaivePsOram, CipherKind::FastStream, 4'000,
+                 0xf133d179bdf79819ULL);
+}
+
+// Recursive PS design: PoM traffic, shadow-stash snapshots and the
+// single atomic bracket.
+TEST(TrafficEquivalence, RcrPsOram2k)
+{
+    expectDigest(DesignKind::RcrPsOram, CipherKind::FastStream, 2'000,
+                 0x3ba24a9fe549f905ULL);
+}
+
+// FullNVM: classic greedy plus the on-chip stash read phase.
+TEST(TrafficEquivalence, FullNvm4k)
+{
+    expectDigest(DesignKind::FullNvm, CipherKind::FastStream, 4'000,
+                 0x4c73000753776c8dULL);
+}
+
+} // namespace
+} // namespace psoram
