@@ -68,9 +68,10 @@ main()
     engine.drain();
 
     const OramEngine::Stats &stats = engine.stats();
-    std::cout << "\ncompleted " << stats.completed << " requests with "
-              << stats.physical_accesses << " physical accesses ("
-              << stats.coalesced << " coalesced away)\n";
+    std::cout << "\ncompleted " << stats.completed.value()
+              << " requests with " << stats.physical_accesses.value()
+              << " physical accesses (" << stats.coalesced.value()
+              << " coalesced away)\n";
     // Reads observe the block as of their queue position: the opening
     // read predates the write, the coalesced ones see its folded value.
     for (const auto &c : engine.takeCompletions())

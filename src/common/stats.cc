@@ -7,9 +7,28 @@
 
 namespace psoram {
 
+Distribution::Distribution(const Distribution &other)
+{
+    *this = other;
+}
+
+Distribution &
+Distribution::operator=(const Distribution &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    count_ = other.count_;
+    sum_ = other.sum_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return *this;
+}
+
 void
 Distribution::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) {
         min_ = max_ = v;
     } else {
@@ -23,8 +42,61 @@ Distribution::sample(double v)
 void
 Distribution::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     count_ = 0;
     sum_ = min_ = max_ = 0.0;
+}
+
+std::uint64_t
+Distribution::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+Distribution::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? sum_ / count_ : 0.0;
+}
+
+double
+Distribution::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? min_ : 0.0;
+}
+
+double
+Distribution::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ ? max_ : 0.0;
+}
+
+double
+Distribution::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    std::scoped_lock lock(mutex_, other.mutex_);
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 Histogram::Histogram(std::size_t num_buckets, double bucket_width)
@@ -34,9 +106,31 @@ Histogram::Histogram(std::size_t num_buckets, double bucket_width)
         PSORAM_PANIC("histogram needs positive bucket count and width");
 }
 
+Histogram::Histogram(const Histogram &other) : width_(other.width_)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    buckets_ = other.buckets_;
+    overflow_ = other.overflow_;
+    total_ = other.total_;
+}
+
+Histogram &
+Histogram::operator=(const Histogram &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    buckets_ = other.buckets_;
+    width_ = other.width_;
+    overflow_ = other.overflow_;
+    total_ = other.total_;
+    return *this;
+}
+
 void
 Histogram::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++total_;
     if (v < 0.0) {
         ++buckets_[0];
@@ -52,14 +146,44 @@ Histogram::sample(double v)
 void
 Histogram::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::fill(buckets_.begin(), buckets_.end(), 0);
     overflow_ = 0;
     total_ = 0;
 }
 
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.at(i);
+}
+
+std::size_t
+Histogram::numBuckets() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.size();
+}
+
+std::uint64_t
+Histogram::overflow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return overflow_;
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
 double
 Histogram::percentile(double fraction) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (total_ == 0)
         return 0.0;
     const auto target = static_cast<std::uint64_t>(fraction * total_);
@@ -76,6 +200,7 @@ void
 StatGroup::addCounter(const std::string &name, const Counter *c,
                       const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_[name] = CounterEntry{c, desc};
 }
 
@@ -83,12 +208,14 @@ void
 StatGroup::addDistribution(const std::string &name, const Distribution *d,
                            const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     dists_[name] = DistEntry{d, desc};
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[name, entry] : counters_) {
         os << std::left << std::setw(44) << (name_ + "." + name)
            << std::right << std::setw(16) << entry.counter->value()
@@ -110,6 +237,7 @@ StatGroup::dump(std::ostream &os) const
 std::uint64_t
 StatGroup::counterValue(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.counter->value();
 }

@@ -5,49 +5,90 @@
  * Components register named counters/histograms into a StatGroup; the
  * experiment harness dumps a group recursively to produce the per-design
  * statistics that feed the table/figure benches.
+ *
+ * Thread-safety contract (sharded engine): every primitive here may be
+ * written from one worker thread while being read from another (live
+ * stats polling, merged per-shard reporting). Counter increments are
+ * relaxed atomics — monotonic event counts need no ordering, only
+ * tear-freedom. Distribution/Histogram mutate several fields per sample
+ * and take a per-object mutex; in the sharded engine each shard owns its
+ * own instances, so the lock is uncontended on the hot path. Cross-shard
+ * aggregation happens by *merging read-side snapshots*, never by sharing
+ * one accumulator between workers.
  */
 
 #ifndef PSORAM_COMMON_STATS_HH
 #define PSORAM_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace psoram {
 
-/** Monotonic event counter. */
+/** Monotonic event counter (relaxed-atomic; safe to read mid-run). */
 class Counter
 {
   public:
     Counter() = default;
+    Counter(const Counter &other) : value_(other.value()) {}
+    Counter &
+    operator=(const Counter &other)
+    {
+        value_.store(other.value(), std::memory_order_relaxed);
+        return *this;
+    }
 
-    Counter &operator++() { ++value_; return *this; }
-    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &
+    operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** Running scalar statistic (min / max / mean / count). */
 class Distribution
 {
   public:
+    Distribution() = default;
+    Distribution(const Distribution &other);
+    Distribution &operator=(const Distribution &other);
+
     void sample(double v);
     void reset();
 
-    std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
-    double sum() const { return sum_; }
+    std::uint64_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+
+    /** Fold @p other's samples into this one (read-side shard merge). */
+    void merge(const Distribution &other);
 
   private:
+    mutable std::mutex mutex_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
@@ -59,20 +100,23 @@ class Histogram
 {
   public:
     Histogram(std::size_t num_buckets, double bucket_width);
+    Histogram(const Histogram &other);
+    Histogram &operator=(const Histogram &other);
 
     void sample(double v);
     void reset();
 
-    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
-    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::size_t numBuckets() const;
     double bucketWidth() const { return width_; }
-    std::uint64_t overflow() const { return overflow_; }
-    std::uint64_t total() const { return total_; }
+    std::uint64_t overflow() const;
+    std::uint64_t total() const;
 
     /** Smallest value v such that fraction() of samples are <= v. */
     double percentile(double fraction) const;
 
   private:
+    mutable std::mutex mutex_;
     std::vector<std::uint64_t> buckets_;
     double width_;
     std::uint64_t overflow_ = 0;
@@ -82,7 +126,8 @@ class Histogram
 /**
  * A named collection of statistics. Components own a StatGroup and
  * register members once at construction; the harness walks registered
- * entries to dump them.
+ * entries to dump them. Registration and dumping may happen on
+ * different threads (engine workers vs. the reporting thread).
  */
 class StatGroup
 {
@@ -107,6 +152,7 @@ class StatGroup
     struct DistEntry { const Distribution *dist; std::string desc; };
 
     std::string name_;
+    mutable std::mutex mutex_;
     std::map<std::string, CounterEntry> counters_;
     std::map<std::string, DistEntry> dists_;
 };

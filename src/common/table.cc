@@ -19,6 +19,7 @@ TextTable::addRow(std::vector<std::string> row)
     if (row.size() != header_.size())
         PSORAM_PANIC("table row arity ", row.size(), " != header arity ",
                      header_.size());
+    std::lock_guard<std::mutex> lock(mutex_);
     rows_.push_back(std::move(row));
 }
 
@@ -42,6 +43,7 @@ TextTable::pct(double ratio, int precision)
 void
 TextTable::print(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::size_t> width(header_.size());
     for (std::size_t c = 0; c < header_.size(); ++c)
         width[c] = header_[c].size();

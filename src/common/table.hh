@@ -2,11 +2,17 @@
  * @file
  * ASCII table printer used by the bench harnesses to reproduce the
  * paper's tables and figure data series in a readable text form.
+ *
+ * Row accumulation is mutex-guarded: sharded-engine completion
+ * callbacks (and the bench loops that drive per-shard reporting) may
+ * append rows from several threads concurrently. Rows are printed in
+ * insertion order.
  */
 
 #ifndef PSORAM_COMMON_TABLE_HH
 #define PSORAM_COMMON_TABLE_HH
 
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,7 +24,8 @@ class TextTable
   public:
     explicit TextTable(std::vector<std::string> header);
 
-    /** Append a row; must have the same arity as the header. */
+    /** Append a row; must have the same arity as the header.
+     *  Thread-safe: callable from concurrent engine callbacks. */
     void addRow(std::vector<std::string> row);
 
     /** Convenience: format a double with @p precision decimals. */
@@ -31,6 +38,7 @@ class TextTable
 
   private:
     std::vector<std::string> header_;
+    mutable std::mutex mutex_;
     std::vector<std::vector<std::string>> rows_;
 };
 

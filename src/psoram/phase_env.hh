@@ -43,6 +43,26 @@ struct ProtocolCounters
     Counter stale_dropped;
     Counter forced_merges;
     Counter unplaced_carried;
+
+    /** Plain-value copy for merged per-shard reporting. Counters are
+     *  relaxed-atomic, so this is safe while the owning shard's worker
+     *  is running. */
+    struct Snapshot
+    {
+        std::uint64_t stash_hits = 0;
+        std::uint64_t backups = 0;
+        std::uint64_t stale_dropped = 0;
+        std::uint64_t forced_merges = 0;
+        std::uint64_t unplaced_carried = 0;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{stash_hits.value(), backups.value(),
+                        stale_dropped.value(), forced_merges.value(),
+                        unplaced_carried.value()};
+    }
 };
 
 struct PhaseEnv

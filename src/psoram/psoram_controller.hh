@@ -151,6 +151,12 @@ class PsOramController
     {
         return counters_.unplaced_carried.value();
     }
+    /** Snapshot of every protocol counter (safe mid-run; the counters
+     *  are relaxed-atomic). Sharded reporting merges these per shard. */
+    ProtocolCounters::Snapshot protocolSnapshot() const
+    {
+        return counters_.snapshot();
+    }
     Cycle nowCycles() const { return now_; }
 
     /** Total NVM traffic: main device plus on-chip NVM buffer writes

@@ -50,7 +50,8 @@ OramEngine::finish(const Pending &request, bool coalesced, Cycle start,
         ++stats_.coalesced;
     if (request.callback)
         request.callback(completion);
-    completions_.push_back(std::move(completion));
+    if (config_.record_completions)
+        completions_.push_back(std::move(completion));
 }
 
 std::size_t

@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "oram/block.hh"
 #include "oram/controller.hh"
@@ -40,6 +41,10 @@ struct EngineConfig
 {
     /** Merge back-to-back same-block requests into one access. */
     bool coalesce = true;
+    /** Keep completion records for takeCompletions(). The sharded
+     *  engine's workers deliver completions through callbacks instead
+     *  and turn recording off so long runs stay bounded. */
+    bool record_completions = true;
 };
 
 class OramEngine
@@ -96,14 +101,16 @@ class OramEngine
     /** Completions accumulated since the last takeCompletions(). */
     std::vector<Completion> takeCompletions();
 
+    /** Engine counters. Relaxed-atomic (common/stats.hh Counter) so the
+     *  sharded frontend can merge per-shard stats while workers run. */
     struct Stats
     {
-        std::uint64_t submitted = 0;
-        std::uint64_t completed = 0;
+        Counter submitted;
+        Counter completed;
         /** Controller accesses that touched the tree (no stash hit). */
-        std::uint64_t physical_accesses = 0;
+        Counter physical_accesses;
         /** Requests absorbed into an earlier request's access. */
-        std::uint64_t coalesced = 0;
+        Counter coalesced;
     };
     const Stats &stats() const { return stats_; }
 

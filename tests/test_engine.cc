@@ -67,9 +67,9 @@ TEST(OramEngine, SubmitQueuesAndPollCompletes)
     ASSERT_EQ(completions.size(), 2u);
     EXPECT_EQ(completions[0].id, id_w);
     EXPECT_GT(completions[0].latency_cycles, 0u);
-    EXPECT_EQ(engine.stats().submitted, 2u);
-    EXPECT_EQ(engine.stats().completed, 2u);
-    EXPECT_EQ(engine.stats().physical_accesses, 2u);
+    EXPECT_EQ(engine.stats().submitted.value(), 2u);
+    EXPECT_EQ(engine.stats().completed.value(), 2u);
+    EXPECT_EQ(engine.stats().physical_accesses.value(), 2u);
 }
 
 TEST(OramEngine, ReadObservesEarlierQueuedWrite)
@@ -100,8 +100,8 @@ TEST(OramEngine, CoalescedRunCostsOnePhysicalAccess)
 
     // One controller access served the whole run.
     EXPECT_EQ(system.controller->accessCount(), 1u);
-    EXPECT_EQ(engine.stats().physical_accesses, 1u);
-    EXPECT_EQ(engine.stats().coalesced,
+    EXPECT_EQ(engine.stats().physical_accesses.value(), 1u);
+    EXPECT_EQ(engine.stats().coalesced.value(),
               static_cast<std::uint64_t>(kDuplicates - 1));
 
     // Tree traffic is *identical* to a single access on a twin system.
@@ -127,8 +127,8 @@ TEST(OramEngine, CoalescingOffIssuesEveryAccess)
     // returns the block to the tree each access, so each read walks a
     // full path again.
     EXPECT_EQ(system.controller->accessCount(), 4u);
-    EXPECT_EQ(engine.stats().physical_accesses, 4u);
-    EXPECT_EQ(engine.stats().coalesced, 0u);
+    EXPECT_EQ(engine.stats().physical_accesses.value(), 4u);
+    EXPECT_EQ(engine.stats().coalesced.value(), 0u);
 }
 
 TEST(OramEngine, CoalescedTrailingWriteLandsInOram)
@@ -141,8 +141,8 @@ TEST(OramEngine, CoalescedTrailingWriteLandsInOram)
         engine.submitWrite(21, data.data());
         engine.drain();
         // Read-then-write run: the opening read plus one folded write.
-        EXPECT_LE(engine.stats().physical_accesses, 2u);
-        EXPECT_GE(engine.stats().physical_accesses, 1u);
+        EXPECT_LE(engine.stats().physical_accesses.value(), 2u);
+        EXPECT_GE(engine.stats().physical_accesses.value(), 1u);
     }
     // The folded write must be visible to a plain controller read.
     std::uint8_t buf[kBlockDataBytes] = {};
@@ -161,7 +161,7 @@ TEST(OramEngine, DistinctAddressesDoNotCoalesce)
     engine.submitRead(1); // not adjacent to the first: no merge
     engine.drain();
 
-    EXPECT_EQ(engine.stats().coalesced, 0u);
+    EXPECT_EQ(engine.stats().coalesced.value(), 0u);
     EXPECT_EQ(system.controller->accessCount(), 3u);
 }
 
