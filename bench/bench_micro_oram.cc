@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "nvm/fault_injector.hh"
 #include "oram/block.hh"
 #include "psoram/drainer.hh"
 #include "sim/system.hh"
@@ -133,6 +134,12 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
     for (const DesignKind design : allDesigns()) {
         System system =
             buildSystem(configFromOverrides(ctx.overrides, design));
+        // Unarmed injector: counts persist boundaries (the crash-point
+        // population the enumerator in sim/crash_enumerator walks)
+        // without ever firing, so the throughput numbers include the
+        // counting overhead every fault-injection run pays.
+        FaultInjector injector;
+        system.attachFaultInjector(&injector);
         std::uint8_t buf[kBlockDataBytes] = {};
         BlockAddr addr = 0;
         const auto step = [&] {
@@ -143,6 +150,7 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
         };
         for (unsigned i = 0; i < 512; ++i)
             step(); // warm the tree and the stash
+        injector.reset(); // count boundaries over the timed region only
 
         std::uint64_t accesses = 0;
         std::uint64_t sim_cycles = 0;
@@ -169,7 +177,14 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
                  static_cast<double>(sim_cycles) /
                      static_cast<double>(accesses))
             .count("stash_peak", stash.peakSize())
-            .num("stash_mean_occupancy", stash.occupancy().mean());
+            .num("stash_mean_occupancy", stash.occupancy().mean())
+            .num("persist_boundaries_per_access",
+                 static_cast<double>(injector.boundariesSeen()) /
+                     static_cast<double>(accesses))
+            .num("drain_writes_per_access",
+                 static_cast<double>(
+                     injector.kindCount(PersistBoundary::DrainWrite)) /
+                     static_cast<double>(accesses));
         std::cout << designName(design) << ": "
                   << static_cast<std::uint64_t>(
                          static_cast<double>(accesses) / elapsed)

@@ -30,6 +30,8 @@
 
 namespace psoram {
 
+class FaultInjector;
+
 /** One 64-byte backend line. */
 using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
 
@@ -107,6 +109,22 @@ class MemoryBackend
     virtual MemoryImage image() const = 0;
     virtual void restoreImage(const MemoryImage &img) = 0;
     /** @} */
+
+    /**
+     * @{ Fault injection (nvm/fault_injector.hh). When set, the backend
+     * reports every functional write as a persist boundary so the
+     * crash-point enumerator can abort execution at any of them. Null
+     * (the default) costs one branch per write.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_injector_ = injector;
+    }
+    FaultInjector *faultInjector() const { return fault_injector_; }
+    /** @} */
+
+  protected:
+    FaultInjector *fault_injector_ = nullptr;
 };
 
 } // namespace psoram

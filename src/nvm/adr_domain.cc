@@ -13,6 +13,10 @@ AdrDomain::AdrDomain(std::size_t data_capacity, std::size_t posmap_capacity)
 void
 AdrDomain::start()
 {
+    // Boundary *before* the signal takes effect: a fault here leaves
+    // the previous round's durable state untouched.
+    if (fault_injector_)
+        fault_injector_->boundary(PersistBoundary::RoundStart);
     data_wpq_.start();
     posmap_wpq_.start();
 }
@@ -20,6 +24,11 @@ AdrDomain::start()
 void
 AdrDomain::end()
 {
+    // The durability point: a fault raised before the commit drops the
+    // whole open round (ADR discards uncommitted entries), a fault any
+    // later still delivers it through crashFlush().
+    if (fault_injector_)
+        fault_injector_->boundary(PersistBoundary::RoundCommit);
     bytes_persisted_ += data_wpq_.queuedBytes() +
                         posmap_wpq_.queuedBytes();
     data_wpq_.end();
@@ -31,6 +40,7 @@ AdrDomain::drain(MemoryBackend &device, Cycle earliest)
 {
     // In-order persistence without coalescing (§4.2.3): the metadata
     // entries drain strictly after the data blocks of their round.
+    const FaultInjector::ScopedDrain drain_scope(fault_injector_);
     const Cycle data_done = data_wpq_.drainTo(device, earliest);
     return posmap_wpq_.drainTo(device, data_done);
 }

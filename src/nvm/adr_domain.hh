@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/stats.hh"
+#include "nvm/fault_injector.hh"
 #include "nvm/wpq.hh"
 
 namespace psoram {
@@ -53,10 +54,22 @@ class AdrDomain
     std::uint64_t bytesPersisted() const { return bytes_persisted_; }
     void noteBytes(std::size_t n) { bytes_persisted_ += n; }
 
+    /**
+     * Report the start/end signals (and bracket the drains) of this
+     * domain as persist boundaries on @p injector. The injector must be
+     * the same instance the backing device reports its writes to, so
+     * the boundary numbering is one global sequence.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_injector_ = injector;
+    }
+
   private:
     Wpq data_wpq_;
     Wpq posmap_wpq_;
     std::uint64_t bytes_persisted_ = 0;
+    FaultInjector *fault_injector_ = nullptr;
 };
 
 } // namespace psoram

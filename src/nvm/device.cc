@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "nvm/fault_injector.hh"
 
 namespace psoram {
 
@@ -65,6 +66,14 @@ NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
 {
     if (addr > capacity_ || len > capacity_ - addr)
         PSORAM_PANIC("NVM write past capacity: addr=", addr, " len=", len);
+    // Persist boundary: the durable image is about to change. A fault
+    // raised here aborts *before* the write applies; for writes inside
+    // a committed WPQ drain the entry stays queued and the ADR flush
+    // still delivers it, preserving the committed-round guarantee.
+    if (fault_injector_)
+        fault_injector_->boundary(fault_injector_->inDrain()
+                                      ? PersistBoundary::DrainWrite
+                                      : PersistBoundary::DirectWrite);
     std::size_t off = 0;
     while (off < len) {
         const Addr cur = addr + off;

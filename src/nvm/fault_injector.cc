@@ -1,0 +1,25 @@
+#include "nvm/fault_injector.hh"
+
+#include "common/log.hh"
+
+namespace psoram {
+
+const char *
+persistBoundaryName(PersistBoundary kind)
+{
+    switch (kind) {
+      case PersistBoundary::RoundStart:
+        return "round-start";
+      case PersistBoundary::RoundCommit:
+        return "round-commit";
+      case PersistBoundary::DrainWrite:
+        return "drain-write";
+      case PersistBoundary::DirectWrite:
+        return "direct-write";
+      case PersistBoundary::ImagePersist:
+        return "image-persist";
+    }
+    PSORAM_PANIC("unknown persist boundary kind");
+}
+
+} // namespace psoram

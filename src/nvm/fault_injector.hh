@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Deterministic fault injection at NVM persist boundaries.
+ *
+ * A *persist boundary* is a point in execution where the durable NVM
+ * state is about to change: a WPQ round opening ("start" signal), a WPQ
+ * round committing ("end" signal — the ADR durability point), an
+ * individual entry draining out of a committed round, a direct
+ * (non-WPQ) functional write, or a file-backed image checkpoint. The
+ * injector counts every boundary it passes; when armed at boundary k it
+ * throws InjectedFault the moment the k-th boundary is reached — i.e.
+ * *before* that boundary's durable effect applies.
+ *
+ * Because the simulator is deterministic for a fixed seed and trace,
+ * the boundary sequence is reproducible: a probe run counts the total
+ * boundary population B, and replaying the same trace armed at each
+ * k in [1, B] crashes the system at every distinct persist point it
+ * ever crosses. The crash-point enumerator (sim/crash_enumerator) and
+ * the torture harness (tests/torture_crash) are built on exactly that.
+ *
+ * ADR semantics are preserved under injection: a fault thrown mid-drain
+ * leaves the committed entries in their queue, and the subsequent
+ * power-failure flush still writes them — a committed round reaches the
+ * NVM no matter where inside the drain the fault lands.
+ */
+
+#ifndef PSORAM_NVM_FAULT_INJECTOR_HH
+#define PSORAM_NVM_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace psoram {
+
+/** The kinds of persist boundary the injector distinguishes. */
+enum class PersistBoundary
+{
+    /** ADR bracket opened ("start" signal, both WPQs). */
+    RoundStart,
+    /** ADR bracket committed ("end" signal — the durability point). */
+    RoundCommit,
+    /** One committed WPQ entry reaching the NVM during a drain. */
+    DrainWrite,
+    /** A functional write outside any WPQ drain (non-persistent
+     *  designs' eviction writes, recovery-era region writes). */
+    DirectWrite,
+    /** FileBackedNvm image checkpoint (cross-process persistence). */
+    ImagePersist,
+};
+
+inline constexpr std::size_t kNumPersistBoundaryKinds = 5;
+
+const char *persistBoundaryName(PersistBoundary kind);
+
+/** Thrown when the armed boundary index is reached. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(PersistBoundary kind, std::uint64_t boundary_index)
+        : std::runtime_error(
+              "injected fault at persist boundary #" +
+              std::to_string(boundary_index) + " (" +
+              persistBoundaryName(kind) + ")"),
+          kind_(kind), boundary_index_(boundary_index)
+    {
+    }
+
+    PersistBoundary kind() const { return kind_; }
+    std::uint64_t boundaryIndex() const { return boundary_index_; }
+
+  private:
+    PersistBoundary kind_;
+    std::uint64_t boundary_index_;
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * Count a boundary crossing; throws InjectedFault exactly once when
+     * the armed index is reached. Suspended injectors neither count nor
+     * throw (recovery code runs under a suspension scope so its flush
+     * writes don't perturb the deterministic boundary numbering).
+     */
+    void
+    boundary(PersistBoundary kind)
+    {
+        if (suspended_ != 0)
+            return;
+        ++count_;
+        ++kind_counts_[static_cast<std::size_t>(kind)];
+        if (armed_ && count_ == target_) {
+            armed_ = false;
+            fired_ = true;
+            fired_kind_ = kind;
+            fired_index_ = count_;
+            throw InjectedFault(kind, count_);
+        }
+    }
+
+    /** Arm the injector to fault at the @p boundary_index-th boundary
+     *  (1-based) counted from the last reset(). */
+    void
+    armAt(std::uint64_t boundary_index)
+    {
+        armed_ = true;
+        target_ = boundary_index;
+    }
+
+    void disarm() { armed_ = false; }
+
+    /** Counter back to zero, disarmed, nothing fired. */
+    void
+    reset()
+    {
+        count_ = 0;
+        armed_ = false;
+        fired_ = false;
+        target_ = 0;
+        suspended_ = 0;
+        kind_counts_.fill(0);
+    }
+
+    std::uint64_t boundariesSeen() const { return count_; }
+    bool armed() const { return armed_; }
+    bool fired() const { return fired_; }
+    PersistBoundary firedKind() const { return fired_kind_; }
+    std::uint64_t firedIndex() const { return fired_index_; }
+
+    /** Boundaries seen per kind since the last reset(). */
+    std::uint64_t
+    kindCount(PersistBoundary kind) const
+    {
+        return kind_counts_[static_cast<std::size_t>(kind)];
+    }
+
+    /** @{ Drain bracket: writes issued inside count as DrainWrite. */
+    bool inDrain() const { return drain_depth_ != 0; }
+
+    class ScopedDrain
+    {
+      public:
+        explicit ScopedDrain(FaultInjector *injector) : injector_(injector)
+        {
+            if (injector_)
+                ++injector_->drain_depth_;
+        }
+        ~ScopedDrain()
+        {
+            if (injector_)
+                --injector_->drain_depth_;
+        }
+        ScopedDrain(const ScopedDrain &) = delete;
+        ScopedDrain &operator=(const ScopedDrain &) = delete;
+
+      private:
+        FaultInjector *injector_;
+    };
+    /** @} */
+
+    /** @{ Suspension (recovery code): boundaries pass uncounted. */
+    class ScopedSuspend
+    {
+      public:
+        explicit ScopedSuspend(FaultInjector *injector)
+            : injector_(injector)
+        {
+            if (injector_)
+                ++injector_->suspended_;
+        }
+        ~ScopedSuspend()
+        {
+            if (injector_)
+                --injector_->suspended_;
+        }
+        ScopedSuspend(const ScopedSuspend &) = delete;
+        ScopedSuspend &operator=(const ScopedSuspend &) = delete;
+
+      private:
+        FaultInjector *injector_;
+    };
+    /** @} */
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t target_ = 0;
+    bool armed_ = false;
+    bool fired_ = false;
+    PersistBoundary fired_kind_ = PersistBoundary::RoundCommit;
+    std::uint64_t fired_index_ = 0;
+    unsigned drain_depth_ = 0;
+    unsigned suspended_ = 0;
+    std::array<std::uint64_t, kNumPersistBoundaryKinds> kind_counts_{};
+};
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_FAULT_INJECTOR_HH

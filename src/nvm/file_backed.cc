@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/log.hh"
+#include "nvm/fault_injector.hh"
 
 namespace psoram {
 
@@ -29,6 +30,8 @@ FileBackedNvm::FileBackedNvm(const NvmTimingParams &params,
 
 FileBackedNvm::~FileBackedNvm()
 {
+    // Never let an armed injector throw out of a destructor.
+    const FaultInjector::ScopedSuspend suspend(fault_injector_);
     if (!discarded_)
         persist();
 }
@@ -66,6 +69,11 @@ FileBackedNvm::loadFromFile()
 bool
 FileBackedNvm::persist()
 {
+    // Checkpoint boundary: a fault here models a crash *before* the
+    // image reaches disk — the previous on-disk image stays valid
+    // (persist is atomic via temp file + rename).
+    if (fault_injector_)
+        fault_injector_->boundary(PersistBoundary::ImagePersist);
     discarded_ = false;
     const std::string tmp = path_ + ".tmp";
     {

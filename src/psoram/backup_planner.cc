@@ -5,7 +5,7 @@ namespace psoram {
 void
 BackupPlanner::plan(const AccessContext &ctx)
 {
-    if (!env_.usesBackups())
+    if (!env_.usesBackups() || !env_.params.design.backup_blocks)
         return;
     // The target was found on the path (it is in the stash but was not
     // there at step 1). Its loaded copy's slot becomes the backup site:

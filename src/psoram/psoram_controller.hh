@@ -81,6 +81,18 @@ class PsOramController
     /** @{ Crash-injection plumbing. */
     void setCrashPolicy(CrashPolicy *policy) { crash_policy_ = policy; }
 
+    /**
+     * Report this controller's WPQ start/end signals as persist
+     * boundaries (nvm/fault_injector.hh). Pass the same injector the
+     * device reports to so the boundary numbering forms one sequence;
+     * null detaches. No-op for designs without a persistence domain.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        if (drainer_)
+            drainer_->domain().setFaultInjector(injector);
+    }
+
     /** ADR semantics at power failure: flush committed WPQ rounds. */
     void powerFailureFlush();
 

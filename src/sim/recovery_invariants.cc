@@ -1,0 +1,187 @@
+#include "sim/recovery_invariants.hh"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "oram/block.hh"
+#include "oram/recursive_posmap.hh"
+#include "oram/tree.hh"
+
+namespace psoram {
+
+void
+stampPayload(BlockAddr addr, std::uint32_t version, std::uint8_t *out)
+{
+    std::memset(out, 0, kBlockDataBytes);
+    std::memcpy(out, &addr, sizeof(addr));
+    std::memcpy(out + 8, &version, sizeof(version));
+}
+
+std::uint32_t
+payloadVersion(const std::uint8_t *data)
+{
+    std::uint32_t version = 0;
+    std::memcpy(&version, data + 8, sizeof(version));
+    return version;
+}
+
+BlockAddr
+payloadAddr(const std::uint8_t *data)
+{
+    BlockAddr addr = 0;
+    std::memcpy(&addr, data, sizeof(addr));
+    return addr;
+}
+
+CommitObserver
+RecoveryOracle::observer()
+{
+    return [this](BlockAddr addr,
+                  const std::array<std::uint8_t, kBlockDataBytes> &data) {
+        const std::uint32_t version = payloadVersion(data.data());
+        auto &slot = durable[addr];
+        if (version < slot)
+            non_monotonic = true;
+        else
+            slot = version;
+    };
+}
+
+namespace {
+
+/** Level of @p bucket in the BFS flat array (root = 0). */
+unsigned
+bucketLevel(BucketId bucket)
+{
+    return static_cast<unsigned>(std::bit_width(bucket + 1)) - 1;
+}
+
+/**
+ * I1 for one tree: decode every slot, flag out-of-range addresses,
+ * invalid paths, and blocks stored in a bucket their path does not
+ * pass through. @p max_addr is the tree's logical address space.
+ */
+void
+scanTree(const MemoryBackend &device, const TreeLayout &layout,
+         const BlockCodec &codec, std::uint64_t max_addr,
+         const char *tree_name, std::vector<std::string> &violations)
+{
+    const TreeGeometry &geo = layout.geometry;
+    SlotBytes raw{};
+    for (BucketId bucket = 0; bucket < geo.numBuckets(); ++bucket) {
+        for (unsigned slot = 0; slot < geo.bucket_slots; ++slot) {
+            device.readBytes(layout.slotAddr(bucket, slot), raw.data(),
+                             raw.size());
+            const PlainBlock block = codec.decode(raw);
+            if (block.isDummy())
+                continue;
+            std::ostringstream at;
+            at << tree_name << " bucket " << bucket << " slot " << slot;
+            if (block.addr >= max_addr) {
+                violations.push_back("I1: out-of-range addr " +
+                                     std::to_string(block.addr) +
+                                     " at " + at.str());
+                continue;
+            }
+            if (block.path >= geo.numLeaves()) {
+                violations.push_back(
+                    "I1: invalid path " + std::to_string(block.path) +
+                    " for addr " + std::to_string(block.addr) + " at " +
+                    at.str());
+                continue;
+            }
+            const unsigned level = bucketLevel(bucket);
+            if (geo.bucketAt(block.path, level) != bucket)
+                violations.push_back(
+                    "I1: addr " + std::to_string(block.addr) +
+                    " labeled path " + std::to_string(block.path) +
+                    " does not pass through " + at.str());
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+checkRecoveryInvariants(System &system, const RecoveryOracle &oracle)
+{
+    std::vector<std::string> violations;
+    PsOramController &ctrl = *system.controller;
+    const PsOramParams &params = system.params;
+    const MemoryBackend &device = *system.device;
+
+    if (oracle.non_monotonic)
+        violations.push_back(
+            "oracle: commit observer reported a non-monotonic durable "
+            "version");
+
+    // I1: structural sanity of every persistent tree. Decode is
+    // stateless, so a local codec with the system's key suffices.
+    const BlockCodec codec(params.key, params.cipher);
+    scanTree(device, params.data_layout, codec, params.num_blocks,
+             "data-tree", violations);
+    if (params.design.recursive_posmap) {
+        const TreeLayout pom_layout{
+            TreeGeometry{params.pom_height,
+                         params.data_layout.geometry.bucket_slots},
+            params.pom_tree_base};
+        const std::uint64_t entry_blocks =
+            divCeil(params.num_blocks, kEntriesPerPosBlock);
+        scanTree(device, pom_layout, codec, entry_blocks, "pom-tree",
+                 violations);
+    }
+
+    // I2: committed positions must be valid leaves.
+    const std::uint64_t leaves = params.data_layout.geometry.numLeaves();
+    for (BlockAddr addr = 0; addr < params.num_blocks; ++addr) {
+        const PathId path = ctrl.committedPath(addr);
+        if (path >= leaves)
+            violations.push_back("I2: committed path " +
+                                 std::to_string(path) + " for addr " +
+                                 std::to_string(addr) +
+                                 " outside leaf range");
+    }
+
+    // I3: every durable block must be reachable — on its committed
+    // path with a matching epoch (what recovery walks), or carried by
+    // the recovered stash (shadow-region designs).
+    std::uint8_t buf[kBlockDataBytes];
+    for (const auto &[addr, version] : oracle.durable) {
+        if (version == 0)
+            continue;
+        if (!ctrl.committedDataInTree(addr, buf) &&
+            ctrl.stash().find(addr) == nullptr)
+            violations.push_back(
+                "I3: durable addr " + std::to_string(addr) +
+                " (version " + std::to_string(version) +
+                ") unreachable: not on its committed path, not in the "
+                "recovered stash");
+    }
+
+    // I4: old-or-new, via real post-recovery reads (mutating — last).
+    for (const auto &[addr, latest] : oracle.latest) {
+        ctrl.read(addr, buf);
+        const std::uint32_t v = payloadVersion(buf);
+        const std::uint32_t durable = oracle.durableOf(addr);
+        if (v < durable)
+            violations.push_back(
+                "I4: addr " + std::to_string(addr) + " lost data: read "
+                "version " + std::to_string(v) + " < durable " +
+                std::to_string(durable));
+        if (v > latest)
+            violations.push_back(
+                "I4: addr " + std::to_string(addr) +
+                " corrupt: read version " + std::to_string(v) +
+                " > latest written " + std::to_string(latest));
+        if (v != 0 && payloadAddr(buf) != addr)
+            violations.push_back("I4: addr " + std::to_string(addr) +
+                                 " torn payload (stamped addr " +
+                                 std::to_string(payloadAddr(buf)) + ")");
+    }
+
+    return violations;
+}
+
+} // namespace psoram

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Recovery-invariant checker: the properties every post-crash recovered
+ * system must satisfy, checked exhaustively by the crash-point
+ * enumerator (sim/crash_enumerator.hh) and the torture harness.
+ *
+ * The checker is deliberately oracle-driven: the workload stamps every
+ * write with (addr, version), a CommitObserver tracks which version
+ * last became durable, and after recovery the checker verifies
+ *
+ *   I1  structural tree sanity — every non-dummy slot in the data tree
+ *       (and, for recursive designs, the PoM tree) decodes to an
+ *       in-range address and a path that actually passes through the
+ *       bucket holding it;
+ *   I2  PosMap sanity — every committed position is a valid leaf;
+ *   I3  reachability — every address with a durable version is found
+ *       either on its committed path (path+epoch match, i.e. what
+ *       recovery walks) or in the recovered stash;
+ *   I4  old-or-new (§4.3) — a functional read of every address returns
+ *       a version v with durable <= v <= latest and an untorn payload.
+ *
+ * Violations are returned as strings rather than asserted, so both
+ * gtest suites and the stand-alone torture binary can report them.
+ */
+
+#ifndef PSORAM_SIM_RECOVERY_INVARIANTS_HH
+#define PSORAM_SIM_RECOVERY_INVARIANTS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "psoram/params.hh"
+#include "sim/system.hh"
+
+namespace psoram {
+
+/** @{ Versioned-payload convention shared by every crash harness:
+ *  bytes [0,8) carry the address, bytes [8,12) the version. */
+void stampPayload(BlockAddr addr, std::uint32_t version,
+                  std::uint8_t *out);
+std::uint32_t payloadVersion(const std::uint8_t *data);
+BlockAddr payloadAddr(const std::uint8_t *data);
+/** @} */
+
+/**
+ * Durability oracle fed by the controller's CommitObserver. `durable`
+ * holds the last version known crash-recoverable per address; `latest`
+ * the last version written (updated by the driving harness).
+ */
+struct RecoveryOracle
+{
+    std::map<BlockAddr, std::uint32_t> durable;
+    std::map<BlockAddr, std::uint32_t> latest;
+    /** Set when the observer reports a version older than one already
+     *  durable — itself an invariant violation (durability must be
+     *  monotonic). */
+    bool non_monotonic = false;
+
+    CommitObserver observer();
+
+    std::uint32_t
+    durableOf(BlockAddr addr) const
+    {
+        const auto it = durable.find(addr);
+        return it == durable.end() ? 0 : it->second;
+    }
+};
+
+/**
+ * Run invariants I1..I4 against a *recovered* @p system. Read-only
+ * checks run first; I4 issues real ORAM reads (which mutate the tree),
+ * so the checker must own the post-recovery instant it is called at.
+ *
+ * @return human-readable violation descriptions; empty means all
+ *         invariants hold.
+ */
+std::vector<std::string>
+checkRecoveryInvariants(System &system, const RecoveryOracle &oracle);
+
+} // namespace psoram
+
+#endif // PSORAM_SIM_RECOVERY_INVARIANTS_HH

@@ -37,6 +37,8 @@ systemParams(const SystemConfig &config)
     params.design = designOptions(config.design);
     params.design.wpq_entries = config.wpq_entries;
     params.design.temp_posmap_entries = config.temp_posmap_entries;
+    if (config.disable_backup_blocks)
+        params.design.backup_blocks = false;
 
 
     // Region layout, packed after the data tree.
@@ -127,10 +129,25 @@ buildSystem(const SystemConfig &config)
 void
 System::recoverController()
 {
-    controller = RecoveryManager::recover(std::move(controller),
-                                          *device);
+    {
+        const FaultInjector::ScopedSuspend suspend(fault_injector);
+        controller = RecoveryManager::recover(std::move(controller),
+                                              *device);
+    }
+    if (fault_injector)
+        controller->attachFaultInjector(fault_injector);
     if (rebind_hook)
         rebind_hook(*controller);
+}
+
+void
+System::attachFaultInjector(FaultInjector *injector)
+{
+    fault_injector = injector;
+    if (device)
+        device->setFaultInjector(injector);
+    if (controller)
+        controller->attachFaultInjector(injector);
 }
 
 } // namespace psoram

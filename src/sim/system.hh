@@ -14,6 +14,7 @@
 #include <string>
 
 #include "mem/backend.hh"
+#include "nvm/fault_injector.hh"
 #include "psoram/design.hh"
 #include "psoram/psoram_controller.hh"
 
@@ -43,6 +44,14 @@ struct SystemConfig
     std::uint64_t seed = 1;
 
     /**
+     * Fault-injection negative control: suppress §4.2.2 backup blocks
+     * while keeping the rest of the persistence machinery. The crash
+     * enumerator must detect the resulting data loss — a build where it
+     * does not is a broken checker.
+     */
+    bool disable_backup_blocks = false;
+
+    /**
      * Non-empty: back the NVM image with this file (FileBackedNvm), so
      * the persistent state survives process restarts. Empty: in-memory
      * NvmDevice.
@@ -66,17 +75,29 @@ struct System
     std::unique_ptr<MemoryBackend> device;
     std::unique_ptr<PsOramController> controller;
     RebindHook rebind_hook;
+    /** Non-owning; survives recovery (re-attached to the rebuilt
+     *  controller). */
+    FaultInjector *fault_injector = nullptr;
 
     /**
      * Rebuild the controller after a crash (keeps the device): applies
      * the ADR power-failure flush, drops all volatile state, and runs
      * recovery from the NVM image. The rebind hook (if set) is then
      * called with the new controller to re-attach observers and crash
-     * policies.
+     * policies. An attached fault injector is suspended for the
+     * duration (recovery-era flush writes are not enumerable persist
+     * boundaries) and re-attached to the new controller.
      */
     void recoverController();
 
     void setRebindHook(RebindHook hook) { rebind_hook = std::move(hook); }
+
+    /**
+     * Wire @p injector through the whole persist path: the device's
+     * functional writes, the controller's WPQ start/end signals, and —
+     * when file-backed — the image checkpoints. Null detaches.
+     */
+    void attachFaultInjector(FaultInjector *injector);
 };
 
 /** Construct the full system for @p config. */

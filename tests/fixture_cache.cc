@@ -1,0 +1,90 @@
+#include "fixture_cache.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace psoram {
+namespace testing {
+
+namespace {
+
+std::uint64_t cache_hits = 0;
+
+std::uint64_t
+fnv1a(const std::string &bytes, std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    for (const char c : bytes)
+        hash = (hash ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    return hash;
+}
+
+/**
+ * Signature of the running test binary: a cached value may only be
+ * reused by the *same build* of the same executable.
+ */
+std::uint64_t
+binarySignature()
+{
+    struct stat st = {};
+    if (stat("/proc/self/exe", &st) != 0)
+        return 0; // no signature -> per-run uniqueness via pid below
+    std::ostringstream sig;
+    sig << st.st_size << ":" << st.st_mtime << ":" << st.st_ino;
+    return fnv1a(sig.str());
+}
+
+std::string
+cachePath(const std::string &key)
+{
+    std::ostringstream path;
+    std::uint64_t sig = binarySignature();
+    if (sig == 0)
+        sig = static_cast<std::uint64_t>(getpid());
+    path << "fixture_cache/" << std::hex << sig << "_" << key << ".txt";
+    return path.str();
+}
+
+} // namespace
+
+std::uint64_t
+cachedU64(const std::string &key,
+          const std::function<std::uint64_t()> &compute)
+{
+    const std::string path = cachePath(key);
+    {
+        std::ifstream in(path);
+        std::uint64_t value = 0;
+        if (in >> std::hex >> value) {
+            ++cache_hits;
+            return value;
+        }
+    }
+
+    const std::uint64_t value = compute();
+
+    ::mkdir("fixture_cache", 0755); // EEXIST is fine
+    const std::string tmp = path + "." + std::to_string(getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        out << std::hex << value << "\n";
+        if (!out)
+            return value; // cache is best-effort
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+    return value;
+}
+
+std::uint64_t
+fixtureCacheHits()
+{
+    return cache_hits;
+}
+
+} // namespace testing
+} // namespace psoram

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * File-backed fixture cache for expensive deterministic test setup.
+ *
+ * gtest_discover_tests runs every TEST in its own ctest process, so
+ * in-process memoization cannot share work between tests: fixtures
+ * like the 10k-access AES traffic digests are recomputed by every test
+ * that needs them. This helper caches such values in files under
+ * `fixture_cache/` in the test working directory.
+ *
+ * Staleness safety: every cache file is keyed by a signature of the
+ * running test binary (path, size, mtime via /proc/self/exe). A
+ * rebuild changes the signature, so a code change can never be masked
+ * by a stale cached value — the worst case is a cold cache. Writes go
+ * through a temp file + rename, so concurrent ctest processes racing
+ * on the same fixture are benign (both compute the same deterministic
+ * value; the rename is atomic).
+ */
+
+#ifndef PSORAM_TESTS_FIXTURE_CACHE_HH
+#define PSORAM_TESTS_FIXTURE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace psoram {
+namespace testing {
+
+/**
+ * Return the cached value for @p key, or run @p compute and cache its
+ * result. @p key must uniquely describe the fixture (e.g.
+ * "traffic_psoram_aes_10000") and be filesystem-safe.
+ */
+std::uint64_t cachedU64(const std::string &key,
+                        const std::function<std::uint64_t()> &compute);
+
+/** Number of cache hits this process served (for the cache's tests). */
+std::uint64_t fixtureCacheHits();
+
+} // namespace testing
+} // namespace psoram
+
+#endif // PSORAM_TESTS_FIXTURE_CACHE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the file-backed fixture cache (tests/fixture_cache.hh):
+ * compute-once semantics, persistence across calls, and the
+ * binary-signature keying that prevents stale reuse after a rebuild.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <unistd.h>
+
+#include "fixture_cache.hh"
+
+namespace psoram {
+namespace {
+
+/** Key unique to this process run, so reruns of the same binary start
+ *  cold (the cache itself persists across processes by design). */
+std::string
+freshKey(const char *tag)
+{
+    const auto now = std::chrono::steady_clock::now()
+                         .time_since_epoch()
+                         .count();
+    return std::string("selftest_") + tag + "_" +
+           std::to_string(getpid()) + "_" + std::to_string(now);
+}
+
+TEST(FixtureCache, ComputesOnceThenServesFromCache)
+{
+    const std::string key = freshKey("once");
+    int computes = 0;
+    const auto compute = [&computes]() -> std::uint64_t {
+        ++computes;
+        return 0xdeadbeefULL;
+    };
+    EXPECT_EQ(testing::cachedU64(key, compute), 0xdeadbeefULL);
+    EXPECT_EQ(computes, 1);
+    const std::uint64_t hits_before = testing::fixtureCacheHits();
+    EXPECT_EQ(testing::cachedU64(key, compute), 0xdeadbeefULL);
+    EXPECT_EQ(computes, 1) << "second call recomputed the fixture";
+    EXPECT_EQ(testing::fixtureCacheHits(), hits_before + 1);
+}
+
+TEST(FixtureCache, DistinctKeysDoNotCollide)
+{
+    const std::string base = freshKey("keys");
+    const auto value_a = testing::cachedU64(
+        base + "_a", []() -> std::uint64_t { return 1; });
+    const auto value_b = testing::cachedU64(
+        base + "_b", []() -> std::uint64_t { return 2; });
+    EXPECT_EQ(value_a, 1u);
+    EXPECT_EQ(value_b, 2u);
+    // And each remains individually cached.
+    EXPECT_EQ(testing::cachedU64(base + "_a",
+                                 []() -> std::uint64_t { return 99; }),
+              1u);
+}
+
+} // namespace
+} // namespace psoram

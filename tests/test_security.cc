@@ -20,6 +20,7 @@
 
 #include "common/random.hh"
 #include "oram/controller.hh"
+#include "sim/sharded_system.hh"
 #include "sim/system.hh"
 
 namespace psoram {
@@ -215,6 +216,113 @@ TEST(Security, RepeatedAccessToSameBlockUsesFreshPaths)
     EXPECT_LT(static_cast<double>(repeats) /
                   static_cast<double>(leaves.size()),
               0.08);
+}
+
+/** 99.9+ percentile bound for chi-square with @p df degrees of
+ *  freedom (mean df, variance 2df; five sigma keeps it robust — for
+ *  df = 63 this reproduces the kChi2Bound63 = 120 used above). */
+double
+chi2Bound(std::uint64_t df)
+{
+    return static_cast<double>(df) +
+           5.0 * std::sqrt(2.0 * static_cast<double>(df));
+}
+
+/**
+ * Sharded engine obliviousness: every shard is an unmodified ORAM over
+ * its slice, so uniformity must hold *per shard* against each shard's
+ * own leaf range — that is the composition argument of the sharded
+ * design (common/sharding.hh). A single global histogram could hide a
+ * skewed shard behind a balanced one.
+ */
+void
+expectShardedLeavesUniform(unsigned num_shards, ShardPolicy policy,
+                           std::uint64_t seed)
+{
+    ShardedSystemConfig config;
+    config.base = secConfig(DesignKind::PsOram, seed);
+    config.sharding.num_shards = num_shards;
+    config.sharding.policy = policy;
+    ShardedSystem sharded = buildShardedSystem(config);
+
+    std::vector<std::vector<PathId>> leaves(sharded.numShards());
+    for (unsigned s = 0; s < sharded.numShards(); ++s)
+        sharded.controller(s).setPathObserver(
+            [&leaves, s](PathId leaf) { leaves[s].push_back(leaf); });
+
+    Rng rng(seed * 131 + 5);
+    std::uint8_t buf[kBlockDataBytes] = {};
+    const int accesses = 4000 * static_cast<int>(num_shards);
+    for (int op = 0; op < accesses; ++op) {
+        const ShardSlot slot =
+            sharded.router.route(rng.nextBelow(kBlocks));
+        if (op % 2 == 0)
+            sharded.controller(slot.shard).write(slot.local, buf);
+        else
+            sharded.controller(slot.shard).read(slot.local, buf);
+    }
+
+    for (unsigned s = 0; s < sharded.numShards(); ++s) {
+        const std::uint64_t shard_leaves =
+            sharded.shards[s]
+                .params.data_layout.geometry.numLeaves();
+        ASSERT_GT(leaves[s].size(), shard_leaves * 20)
+            << "shard " << s << " barely exercised ("
+            << shardPolicyName(policy) << ")";
+        EXPECT_LT(chiSquare(leaves[s], shard_leaves),
+                  chi2Bound(shard_leaves - 1))
+            << "shard " << s << " leaf distribution skewed ("
+            << shardPolicyName(policy) << ", " << num_shards
+            << " shards)";
+    }
+}
+
+TEST(Security, ShardedLeavesAreUniformPerShard2)
+{
+    expectShardedLeavesUniform(2, ShardPolicy::Interleave, 51);
+}
+
+TEST(Security, ShardedLeavesAreUniformPerShard4)
+{
+    expectShardedLeavesUniform(4, ShardPolicy::Interleave, 53);
+}
+
+TEST(Security, ShardedLeavesAreUniformPerShardRangePolicy)
+{
+    expectShardedLeavesUniform(4, ShardPolicy::Range, 57);
+}
+
+TEST(Security, SingleShardMatchesUnshardedLeafSequence)
+{
+    // The 1-shard engine is documented as *identical* to the unsharded
+    // stack — the observed leaf sequences must match element-wise, so
+    // sharding cannot introduce a distinguishable bus pattern.
+    ShardedSystemConfig config;
+    config.base = secConfig(DesignKind::PsOram, 61);
+    config.sharding.num_shards = 1;
+    ShardedSystem sharded = buildShardedSystem(config);
+    System plain = buildSystem(secConfig(DesignKind::PsOram, 61));
+
+    std::vector<PathId> sharded_leaves, plain_leaves;
+    sharded.controller(0).setPathObserver(
+        [&](PathId leaf) { sharded_leaves.push_back(leaf); });
+    plain.controller->setPathObserver(
+        [&](PathId leaf) { plain_leaves.push_back(leaf); });
+
+    Rng rng(62);
+    std::uint8_t buf[kBlockDataBytes] = {};
+    for (int op = 0; op < 1500; ++op) {
+        const BlockAddr addr = rng.nextBelow(kBlocks);
+        const ShardSlot slot = sharded.router.route(addr);
+        if (op % 2 == 0) {
+            sharded.controller(slot.shard).write(slot.local, buf);
+            plain.controller->write(addr, buf);
+        } else {
+            sharded.controller(slot.shard).read(slot.local, buf);
+            plain.controller->read(addr, buf);
+        }
+    }
+    EXPECT_EQ(sharded_leaves, plain_leaves);
 }
 
 TEST(Security, DummyAndRealSlotsIndistinguishableOnBus)

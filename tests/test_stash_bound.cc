@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Statistical stash-occupancy test (Stefanov et al., "Path ORAM",
+ * CCS'13, Theorem 1).
+ *
+ * For Z = 4 the stash-overflow tail is bounded by
+ *
+ *     P[stash > R] <= 14 * (0.6002)^R
+ *
+ * per access. Over a 100k-access random workload the union bound puts
+ * P[max stash > 45] below 2e-4, so a max-occupancy excursion past that
+ * threshold indicates an eviction bug, not bad luck. On failure the
+ * whole post-eviction occupancy distribution is printed so the shape
+ * of the regression is visible, not just the max.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/random.hh"
+#include "nvm/device.hh"
+#include "oram/controller.hh"
+#include "sim/system.hh"
+
+namespace psoram {
+namespace {
+
+constexpr std::size_t kAccesses = 100000;
+constexpr std::uint64_t kBlocks = 512; // 50 % of a height-8, Z=4 tree
+constexpr unsigned kHeight = 8;
+
+/** Union bound over kAccesses of 14 * 0.6002^R, R = 45. */
+constexpr std::size_t kStashBound = 45;
+
+/** Occupancy histogram of post-eviction stash residue. */
+std::string
+describeDistribution(const std::map<std::size_t, std::uint64_t> &hist)
+{
+    std::ostringstream out;
+    out << "post-eviction stash occupancy distribution:\n";
+    for (const auto &[size, count] : hist)
+        out << "  size " << size << ": " << count << " accesses\n";
+    return out.str();
+}
+
+TEST(StashBound, PathOramStaysWithinStefanovTail)
+{
+    PathOramParams params;
+    params.layout.geometry = TreeGeometry{kHeight, 4};
+    params.num_blocks = kBlocks;
+    // Generous physical capacity so the test observes the natural
+    // excursion rather than a forced-merge clamp.
+    params.stash_capacity = 200;
+    params.cipher = CipherKind::FastStream;
+    params.seed = 404;
+    NvmDevice device(pcmTimings(), 1, 8, 256ULL << 20);
+    PathOramController oram(params, device);
+
+    Rng rng(808);
+    std::uint8_t buf[kBlockDataBytes]{};
+    std::map<std::size_t, std::uint64_t> hist;
+    std::size_t max_seen = 0;
+    for (std::size_t op = 0; op < kAccesses; ++op) {
+        const BlockAddr addr = rng.nextBelow(kBlocks);
+        if (rng.nextBool(0.5))
+            oram.write(addr, buf);
+        else
+            oram.read(addr, buf);
+        const std::size_t size = oram.stash().liveSize();
+        ++hist[size];
+        max_seen = std::max(max_seen, size);
+    }
+    EXPECT_LE(max_seen, kStashBound) << describeDistribution(hist);
+    // Sanity on the other side: a healthy eviction keeps the stash
+    // nearly empty most of the time.
+    EXPECT_GE(hist.count(0) ? hist[0] : 0, kAccesses / 2)
+        << describeDistribution(hist);
+}
+
+TEST(StashBound, PsOramSafePlacementStaysWithinStefanovTail)
+{
+    // Safe placement (the §4.2.3 crash-consistent evictor) restricts
+    // where blocks may land; it must not degrade the stash tail beyond
+    // the classic bound.
+    SystemConfig config;
+    config.design = DesignKind::PsOram;
+    config.tree_height = kHeight;
+    config.bucket_slots = 4;
+    config.num_blocks = kBlocks;
+    config.stash_capacity = 200;
+    config.wpq_entries = 96;
+    config.cipher = CipherKind::FastStream;
+    config.seed = 404;
+    System system = buildSystem(config);
+
+    Rng rng(808);
+    std::uint8_t buf[kBlockDataBytes]{};
+    std::map<std::size_t, std::uint64_t> hist;
+    std::size_t max_seen = 0;
+    for (std::size_t op = 0; op < kAccesses; ++op) {
+        const BlockAddr addr = rng.nextBelow(kBlocks);
+        if (rng.nextBool(0.5))
+            system.controller->write(addr, buf);
+        else
+            system.controller->read(addr, buf);
+        const std::size_t size = system.controller->stash().liveSize();
+        ++hist[size];
+        max_seen = std::max(max_seen, size);
+    }
+    EXPECT_LE(max_seen, kStashBound) << describeDistribution(hist);
+    EXPECT_GE(hist.count(0) ? hist[0] : 0, kAccesses / 4)
+        << describeDistribution(hist);
+}
+
+} // namespace
+} // namespace psoram

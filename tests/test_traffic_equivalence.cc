@@ -24,8 +24,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
+#include "fixture_cache.hh"
 #include "nvm/device.hh"
 #include "nvm/timing.hh"
 #include "sim/sharded_engine.hh"
@@ -138,8 +140,8 @@ splitmix64(std::uint64_t &state)
 }
 
 std::uint64_t
-runTrafficDigest(DesignKind design, CipherKind cipher,
-                 std::uint64_t accesses)
+runTrafficDigestUncached(DesignKind design, CipherKind cipher,
+                         std::uint64_t accesses)
 {
     SystemConfig config;
     config.design = design;
@@ -175,6 +177,25 @@ runTrafficDigest(DesignKind design, CipherKind cipher,
         }
     }
     return hashed.digest();
+}
+
+/**
+ * The digest runs are the most expensive fixtures in the suite and
+ * several tests share them; ctest runs each test in its own process,
+ * so the sharing goes through the file-backed fixture cache (keyed by
+ * the test binary build — a rebuild always recomputes).
+ */
+std::uint64_t
+runTrafficDigest(DesignKind design, CipherKind cipher,
+                 std::uint64_t accesses)
+{
+    std::ostringstream key;
+    key << "traffic_" << static_cast<int>(design) << "_"
+        << (cipher == CipherKind::Aes128Ctr ? "aes" : "fast") << "_"
+        << accesses;
+    return testing::cachedU64(key.str(), [&]() {
+        return runTrafficDigestUncached(design, cipher, accesses);
+    });
 }
 
 void
