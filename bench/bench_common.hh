@@ -13,12 +13,20 @@
  * Benches additionally accept "--json <path>" (or --json=<path>): the
  * run then also emits a machine-readable report (BENCH_*.json) used by
  * the CI perf-smoke step and the perf trajectory in DESIGN.md §8.
+ *
+ * Observability flags (DESIGN.md §11), also "--flag <path>" or
+ * "--flag=<path>":
+ *   --trace <file>    record Chrome trace_event JSON of the run (open
+ *                     at https://ui.perfetto.dev); written at exit
+ *   --metrics <file>  dump a metrics snapshot at exit (.prom/.txt for
+ *                     Prometheus text format, anything else JSON)
  */
 
 #ifndef PSORAM_BENCH_BENCH_COMMON_HH
 #define PSORAM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,6 +35,8 @@
 
 #include "common/config.hh"
 #include "common/table.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/designs.hh"
 #include "sim/experiment.hh"
 #include "trace/workloads.hh"
@@ -151,6 +161,10 @@ struct BenchContext
     std::uint64_t instructions = 200'000;
     /** Non-empty: also emit a JSON report here (--json <path>). */
     std::string json_path;
+    /** Non-empty: record and write a Chrome trace here (--trace). */
+    std::string trace_path;
+    /** Non-empty: dump a metrics snapshot here at exit (--metrics). */
+    std::string metrics_path;
     std::vector<WorkloadSpec> workloads;
 
     GeneratorParams
@@ -163,6 +177,45 @@ struct BenchContext
     }
 };
 
+/** @{ Exit-time trace dump: last setupObservability() path wins, so
+ *  every bench leaves a trace behind without per-bench plumbing. */
+inline std::string &
+traceDumpPath()
+{
+    // Leaked: the atexit hook may run during static destruction.
+    static std::string *path = new std::string();
+    return *path;
+}
+
+inline void
+traceDumpAtExit()
+{
+    if (!traceDumpPath().empty())
+        obs::TraceRecorder::instance().writeTo(traceDumpPath());
+}
+/** @} */
+
+/**
+ * Honor the --trace/--metrics flags: enable the recorder and register
+ * exit-time dumps. Called by parseContext(); harnesses that finish (or
+ * abort) without further plumbing still leave the files behind.
+ */
+inline void
+setupObservability(const BenchContext &ctx)
+{
+    if (!ctx.trace_path.empty()) {
+        obs::TraceRecorder::instance().enable();
+        static bool registered = false;
+        traceDumpPath() = ctx.trace_path;
+        if (!registered) {
+            registered = true;
+            std::atexit(traceDumpAtExit);
+        }
+    }
+    if (!ctx.metrics_path.empty())
+        obs::MetricsExporter::dumpAtExit(ctx.metrics_path);
+}
+
 inline BenchContext
 parseContext(int argc, char **argv)
 {
@@ -173,7 +226,16 @@ parseContext(int argc, char **argv)
             ctx.json_path = argv[++i];
         else if (arg.rfind("--json=", 0) == 0)
             ctx.json_path = arg.substr(7);
+        else if (arg == "--trace" && i + 1 < argc)
+            ctx.trace_path = argv[++i];
+        else if (arg.rfind("--trace=", 0) == 0)
+            ctx.trace_path = arg.substr(8);
+        else if (arg == "--metrics" && i + 1 < argc)
+            ctx.metrics_path = argv[++i];
+        else if (arg.rfind("--metrics=", 0) == 0)
+            ctx.metrics_path = arg.substr(10);
     }
+    setupObservability(ctx);
     ctx.overrides.parseArgs(argc, argv);
     ctx.instructions =
         ctx.overrides.getUint("instructions", 200'000);

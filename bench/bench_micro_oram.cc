@@ -19,6 +19,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -131,9 +133,18 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
         .metaCount("seed", banner.seed)
         .metaCount("target_accesses", target);
 
+    // Systems and their stat groups stay alive until the metrics
+    // snapshot is written (the exporter holds non-owning pointers).
+    std::vector<System> systems;
+    std::deque<StatGroup> groups;
+
     for (const DesignKind design : allDesigns()) {
-        System system =
-            buildSystem(configFromOverrides(ctx.overrides, design));
+        systems.push_back(
+            buildSystem(configFromOverrides(ctx.overrides, design)));
+        System &system = systems.back();
+        groups.emplace_back(std::string("micro.") + designName(design));
+        system.controller->registerStats(groups.back());
+        obs::MetricsExporter::global().addGroup(&groups.back());
         // Unarmed injector: counts persist boundaries (the crash-point
         // population the enumerator in sim/crash_enumerator walks)
         // without ever firing, so the throughput numbers include the
@@ -165,6 +176,11 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
         }
 
         const Stash &stash = system.controller->stash();
+        // Per-phase breakdown (host ns, full accesses only): the five
+        // phase windows are adjacent and sum to the end-to-end access
+        // time exactly (common/stats.hh PhaseLatencyStats).
+        const PhaseLatencyStats &phases =
+            system.controller->phaseHostNs();
         report.addRow()
             .str("design", designName(design))
             .count("accesses", accesses)
@@ -184,13 +200,33 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
             .num("drain_writes_per_access",
                  static_cast<double>(
                      injector.kindCount(PersistBoundary::DrainWrite)) /
-                     static_cast<double>(accesses));
+                     static_cast<double>(accesses))
+            .num("phase_remap_ns_mean", phases.remap.mean())
+            .num("phase_load_ns_mean", phases.load.mean())
+            .num("phase_backup_ns_mean", phases.backup.mean())
+            .num("phase_evict_ns_mean", phases.evict.mean())
+            .num("phase_drain_ns_mean", phases.drain.mean())
+            .num("phase_sum_ns", phases.phaseSum())
+            .num("phase_total_ns", phases.total.sum())
+            .count("phase_accesses", phases.total.count());
         std::cout << designName(design) << ": "
                   << static_cast<std::uint64_t>(
                          static_cast<double>(accesses) / elapsed)
                   << " accesses/sec (" << accesses << " in " << elapsed
                   << " s)\n";
     }
+
+    // Write the observability files now, while the registered stat
+    // groups (owned by the local systems) are still alive, then cancel
+    // the exit-time dumps that would otherwise observe dead groups.
+    if (!ctx.metrics_path.empty())
+        obs::MetricsExporter::global().writeTo(ctx.metrics_path);
+    if (!ctx.trace_path.empty())
+        obs::TraceRecorder::instance().writeTo(ctx.trace_path);
+    obs::MetricsExporter::global().removeAllGroups();
+    obs::MetricsExporter::dumpAtExit("");
+    psoram::bench::traceDumpPath().clear();
+
     return report.writeTo(ctx.json_path) ? 0 : 1;
 }
 
@@ -206,10 +242,21 @@ main(int argc, char **argv)
 
     // The table/figure benches accept "key=value" overrides; tolerate
     // (and ignore) them here so one loop can run every bench binary.
+    // The observability flags are ours, not google-benchmark's — strip
+    // them (parseContext already consumed them above).
     std::vector<char *> filtered;
-    for (int i = 0; i < argc; ++i)
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace" || arg == "--metrics") {
+            ++i; // skip the path operand too
+            continue;
+        }
+        if (arg.rfind("--trace=", 0) == 0 ||
+            arg.rfind("--metrics=", 0) == 0)
+            continue;
         if (i == 0 || argv[i][0] == '-')
             filtered.push_back(argv[i]);
+    }
     int filtered_argc = static_cast<int>(filtered.size());
     benchmark::Initialize(&filtered_argc, filtered.data());
     benchmark::RunSpecifiedBenchmarks();

@@ -82,6 +82,18 @@ Distribution::sum() const
     return sum_;
 }
 
+Distribution::Snapshot
+Distribution::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = count_ ? min_ : 0.0;
+    snap.max = count_ ? max_ : 0.0;
+    return snap;
+}
+
 void
 Distribution::merge(const Distribution &other)
 {
@@ -240,6 +252,86 @@ StatGroup::counterValue(const std::string &name) const
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.counter->value();
+}
+
+StatGroup::Snapshot
+StatGroup::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.name = name_;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, entry] : counters_)
+        snap.counters.push_back(
+            {name, entry.counter->value(), entry.desc});
+    snap.dists.reserve(dists_.size());
+    for (const auto &[name, entry] : dists_)
+        snap.dists.push_back({name, entry.dist->snapshot(), entry.desc});
+    return snap;
+}
+
+void
+PhaseLatencyStats::sampleAccess(double remap_v, double load_v,
+                                double backup_v, double evict_v,
+                                double drain_v, double total_v)
+{
+    remap.sample(remap_v);
+    load.sample(load_v);
+    backup.sample(backup_v);
+    evict.sample(evict_v);
+    drain.sample(drain_v);
+    total.sample(total_v);
+}
+
+void
+PhaseLatencyStats::merge(const PhaseLatencyStats &other)
+{
+    remap.merge(other.remap);
+    load.merge(other.load);
+    backup.merge(other.backup);
+    evict.merge(other.evict);
+    drain.merge(other.drain);
+    total.merge(other.total);
+    stash_hit.merge(other.stash_hit);
+}
+
+void
+PhaseLatencyStats::reset()
+{
+    remap.reset();
+    load.reset();
+    backup.reset();
+    evict.reset();
+    drain.reset();
+    total.reset();
+    stash_hit.reset();
+}
+
+void
+PhaseLatencyStats::registerWith(StatGroup &group,
+                                const std::string &prefix) const
+{
+    group.addDistribution(prefix + ".remap", &remap,
+                          "step 2: PosMap access + label backup");
+    group.addDistribution(prefix + ".load", &load,
+                          "step 3: path load");
+    group.addDistribution(prefix + ".backup", &backup,
+                          "step 4: stash update + data backup");
+    group.addDistribution(prefix + ".evict", &evict,
+                          "step 5: eviction excluding the WPQ drain");
+    group.addDistribution(prefix + ".drain", &drain,
+                          "WPQ rounds: start/push/commit/drain");
+    group.addDistribution(prefix + ".total", &total,
+                          "steps 2-5 end to end (full accesses)");
+    group.addDistribution(prefix + ".stash_hit", &stash_hit,
+                          "step-1 fast path (no phases run)");
+}
+
+double
+PhaseLatencyStats::phaseSum() const
+{
+    return remap.sum() + load.sum() + backup.sum() + evict.sum() +
+           drain.sum();
 }
 
 } // namespace psoram

@@ -35,6 +35,16 @@ class Counter
 {
   public:
     Counter() = default;
+
+    /**
+     * Copying is *snapshot-copy*: the destination receives the source's
+     * value as of one relaxed load. That is tear-free (the whole 64-bit
+     * value is read atomically) but not synchronized — increments racing
+     * with the copy land on exactly one side, so two snapshot-copies of
+     * a live counter may differ. Never use copy-assignment to "merge"
+     * two live counters: it *replaces* the destination (use += with
+     * value() snapshots for read-side shard merges).
+     */
     Counter(const Counter &other) : value_(other.value()) {}
     Counter &
     operator=(const Counter &other)
@@ -72,6 +82,12 @@ class Distribution
 {
   public:
     Distribution() = default;
+
+    /** Snapshot-copy under *both* mutexes: the copy observes one
+     *  consistent (count, sum, min, max) tuple — no torn merges even
+     *  while the source is being sampled by another thread. (These are
+     *  deliberately user-provided; an implicitly generated copy would
+     *  bitwise-read the fields outside the mutex and tear.) */
     Distribution(const Distribution &other);
     Distribution &operator=(const Distribution &other);
 
@@ -83,6 +99,19 @@ class Distribution
     double min() const;
     double max() const;
     double sum() const;
+
+    /** One consistent (count, sum, min, max) view under a single lock
+     *  (metrics export; four separate getters could tear mid-run). */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+
+        double mean() const { return count ? sum / count : 0.0; }
+    };
+    Snapshot snapshot() const;
 
     /** Fold @p other's samples into this one (read-side shard merge). */
     void merge(const Distribution &other);
@@ -100,6 +129,9 @@ class Histogram
 {
   public:
     Histogram(std::size_t num_buckets, double bucket_width);
+
+    /** Snapshot-copy under the mutex (see Distribution): the bucket
+     *  array, overflow and total are captured as one consistent view. */
     Histogram(const Histogram &other);
     Histogram &operator=(const Histogram &other);
 
@@ -147,6 +179,32 @@ class StatGroup
     /** Look up a registered counter value by name; 0 if absent. */
     std::uint64_t counterValue(const std::string &name) const;
 
+    /**
+     * Point-in-time value copy of every registered stat (the metrics
+     * exporter's input). Safe while owners keep mutating: counters are
+     * relaxed-atomic, distributions snapshot under their own mutex.
+     */
+    struct Snapshot
+    {
+        struct CounterValue
+        {
+            std::string name;
+            std::uint64_t value = 0;
+            std::string desc;
+        };
+        struct DistValue
+        {
+            std::string name;
+            Distribution::Snapshot stats;
+            std::string desc;
+        };
+
+        std::string name;
+        std::vector<CounterValue> counters;
+        std::vector<DistValue> dists;
+    };
+    Snapshot snapshot() const;
+
   private:
     struct CounterEntry { const Counter *counter; std::string desc; };
     struct DistEntry { const Distribution *dist; std::string desc; };
@@ -155,6 +213,45 @@ class StatGroup
     mutable std::mutex mutex_;
     std::map<std::string, CounterEntry> counters_;
     std::map<std::string, DistEntry> dists_;
+};
+
+/**
+ * Per-phase access-latency breakdown for the five PS-ORAM protocol
+ * phases (remap -> load -> backup -> evict -> drain), in whatever unit
+ * the owner samples (the controller keeps one group in host nanoseconds
+ * and one in simulated NVM cycles).
+ *
+ * Invariant the owner maintains: the five phase windows are adjacent
+ * and `evict` *excludes* the WPQ drain nested inside it, so for every
+ * access   remap + load + backup + evict + drain == total   exactly.
+ * `stash_hit` tracks the step-1 fast path and is outside that identity
+ * (stash hits never run the phases).
+ */
+struct PhaseLatencyStats
+{
+    Distribution remap;    ///< step 2: PosMap access + label backup
+    Distribution load;     ///< step 3: path load
+    Distribution backup;   ///< step 4: stash update + data backup
+    Distribution evict;    ///< step 5 minus the WPQ drain
+    Distribution drain;    ///< WPQ rounds: start/push/commit/drain
+    Distribution total;    ///< steps 2-5 end to end (full accesses)
+    Distribution stash_hit; ///< step-1 fast path (not part of total)
+
+    /** One access's phase windows, sampled under the sum identity. */
+    void sampleAccess(double remap_v, double load_v, double backup_v,
+                      double evict_v, double drain_v, double total_v);
+
+    /** Fold @p other in (read-side shard merge; safe mid-run). */
+    void merge(const PhaseLatencyStats &other);
+
+    void reset();
+
+    /** Register every distribution as "<prefix>.<phase>". */
+    void registerWith(StatGroup &group, const std::string &prefix) const;
+
+    /** Sum over the five phase distributions' sample sums (== the sum
+     *  of `total` up to floating-point association). */
+    double phaseSum() const;
 };
 
 } // namespace psoram

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace psoram {
 
 AdrDomain::AdrDomain(std::size_t data_capacity, std::size_t posmap_capacity)
@@ -17,6 +19,7 @@ AdrDomain::start()
     // the previous round's durable state untouched.
     if (fault_injector_)
         fault_injector_->boundary(PersistBoundary::RoundStart);
+    PSORAM_TRACE_INSTANT("nvm", "adr.round_start", 0);
     data_wpq_.start();
     posmap_wpq_.start();
 }
@@ -29,6 +32,10 @@ AdrDomain::end()
     // later still delivers it through crashFlush().
     if (fault_injector_)
         fault_injector_->boundary(PersistBoundary::RoundCommit);
+    PSORAM_TRACE_INSTANT_ARG(
+        "nvm", "adr.round_commit", 0, "entries",
+        static_cast<std::int64_t>(data_wpq_.size() +
+                                  posmap_wpq_.size()));
     bytes_persisted_ += data_wpq_.queuedBytes() +
                         posmap_wpq_.queuedBytes();
     data_wpq_.end();

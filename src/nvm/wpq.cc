@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -59,6 +60,8 @@ Wpq::drainTo(MemoryBackend &device, Cycle earliest)
         // Each entry is one NVM transaction (a block or a PosMap entry).
         done = std::max(done,
                         device.accessOne(entry.addr, true, earliest));
+        PSORAM_TRACE_INSTANT_ARG("nvm", "wpq.drain_entry", 0, "addr",
+                                 static_cast<std::int64_t>(entry.addr));
         ++drained_;
         entries_.pop_front();
     }

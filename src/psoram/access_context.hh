@@ -37,6 +37,17 @@ struct AccessContext
     BlockAddr addr = kDummyBlockAddr;
     bool is_write = false;
     Cycle start = 0; ///< memory-side clock when the access began
+    /** Correlation id carried into every trace event of this access
+     *  (the engine's request id when the frontend supplied one). */
+    std::uint64_t access_id = 0;
+    /** @} */
+
+    /** @{ Filled by the Evictor for the per-phase latency breakdown:
+     *  the slice of the eviction spent inside Drainer::persist(), in
+     *  host nanoseconds and simulated cycles. Zero for designs without
+     *  a persistence domain. */
+    std::uint64_t drain_host_ns = 0;
+    Cycle drain_cycles = 0;
     /** @} */
 
     /** Running completion cycle; each phase advances it. */
@@ -71,6 +82,9 @@ struct AccessContext
         addr = kDummyBlockAddr;
         is_write = false;
         start = 0;
+        access_id = 0;
+        drain_host_ns = 0;
+        drain_cycles = 0;
         t = 0;
         leaf = kInvalidPath;
         new_leaf = kInvalidPath;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "oram/controller.hh"
 
 namespace psoram {
@@ -375,9 +376,16 @@ Evictor::run(AccessContext &ctx)
     const Cycle issue =
         ctx.t + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle +
         (bundle.data_writes.size() + bundle.posmap_writes.size()) / 2;
-    const Cycle done = env_.drainer->persist(
-        bundle, env_.device, issue,
-        [this](CrashSite site) { env_.crashCheck(site); });
+    Cycle done;
+    {
+        PSORAM_TRACE_SCOPE("phase", "drain", ctx.access_id);
+        const std::uint64_t drain_t0 = obs::hostNowNs();
+        done = env_.drainer->persist(
+            bundle, env_.device, issue,
+            [this](CrashSite site) { env_.crashCheck(site); });
+        ctx.drain_host_ns = obs::hostNowNs() - drain_t0;
+        ctx.drain_cycles = done - issue;
+    }
 
     // Post-commit bookkeeping: merge committed remaps into the main
     // PosMap (functionally already durable via the drained region

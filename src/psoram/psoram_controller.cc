@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -153,6 +154,10 @@ PsOramController::access(BlockAddr addr, bool is_write,
         PSORAM_PANIC("ORAM access beyond logical capacity: ", addr);
     maybeCrash(CrashSite::BetweenAccesses);
     ++accesses_;
+    const std::uint64_t access_id =
+        pending_access_id_ != 0 ? pending_access_id_ : accesses_.value();
+    pending_access_id_ = 0;
+    const std::uint64_t host_entry = obs::hostNowNs();
 
     // ---- Step 1: check stash. ----
     if (StashEntry *hit = stash_.find(addr)) {
@@ -172,54 +177,110 @@ PsOramController::access(BlockAddr addr, bool is_write,
         ++counters_.stash_hits;
         info.stash_hit = true;
         stash_.sampleOccupancy();
+        PSORAM_TRACE_INSTANT("oram", "stash_hit", access_id);
+        phase_ns_.stash_hit.sample(
+            static_cast<double>(obs::hostNowNs() - host_entry));
+        phase_cycles_.stash_hit.sample(
+            static_cast<double>(info.nvm_cycles));
         return info;
     }
+
+    PSORAM_TRACE_SCOPE("oram", "access", access_id);
 
     AccessContext &ctx = ctx_;
     ctx.reset();
     ctx.addr = addr;
     ctx.is_write = is_write;
     ctx.start = ctx.t = now_;
+    ctx.access_id = access_id;
+
+    // Adjacent phase windows: each boundary timestamp closes one phase
+    // and opens the next, so the five phase samples sum to `total`
+    // exactly (the breakdown invariant PhaseLatencyStats documents).
+    const std::uint64_t h0 = obs::hostNowNs();
+    const Cycle c0 = ctx.t;
 
     // ---- Step 2: access PosMap and backup the label. ----
-    remapper_->run(ctx);
+    {
+        PSORAM_TRACE_SCOPE("phase", "remap", access_id);
+        remapper_->run(ctx);
+    }
     ctx.info.leaf = ctx.leaf;
     if (observer_)
         observer_(ctx.leaf);
     maybeCrash(CrashSite::AfterRemap);
+    const std::uint64_t h1 = obs::hostNowNs();
+    const Cycle c1 = ctx.t;
 
     // ---- Step 3: load path. ----
-    loader_->run(ctx);
+    {
+        PSORAM_TRACE_SCOPE("phase", "load", access_id);
+        loader_->run(ctx);
+    }
+    const std::uint64_t h2 = obs::hostNowNs();
+    const Cycle c2 = ctx.t;
 
     // ---- Step 4: update stash and backup the data block. ----
-    StashEntry *entry = stash_.find(addr);
-    if (!entry) {
-        // First touch: materialize an all-zero block (lazy tree init).
-        StashEntry fresh;
-        fresh.addr = addr;
-        fresh.path = ctx.leaf;
-        if (usesBackups())
-            fresh.epoch =
-                persistent_posmap_.readFullEntry(device_, addr).epoch;
-        stash_.insert(fresh);
-        entry = stash_.find(addr);
-    } else {
-        backup_planner_->plan(ctx);
+    {
+        PSORAM_TRACE_SCOPE("phase", "backup", access_id);
+        StashEntry *entry = stash_.find(addr);
+        if (!entry) {
+            // First touch: materialize an all-zero block (lazy tree
+            // init).
+            StashEntry fresh;
+            fresh.addr = addr;
+            fresh.path = ctx.leaf;
+            if (usesBackups())
+                fresh.epoch =
+                    persistent_posmap_.readFullEntry(device_, addr)
+                        .epoch;
+            stash_.insert(fresh);
+            entry = stash_.find(addr);
+        } else {
+            backup_planner_->plan(ctx);
+        }
+        entry->path = ctx.new_leaf;
+        ++entry->epoch; // the re-label consumes one remap epoch
+        if (is_write)
+            std::memcpy(entry->data.data(), write_in, kBlockDataBytes);
+        else
+            std::memcpy(read_out, entry->data.data(), kBlockDataBytes);
     }
-    entry->path = ctx.new_leaf;
-    ++entry->epoch; // the re-label consumes one remap epoch
-    if (is_write)
-        std::memcpy(entry->data.data(), write_in, kBlockDataBytes);
-    else
-        std::memcpy(read_out, entry->data.data(), kBlockDataBytes);
     maybeCrash(CrashSite::AfterStashUpdate);
+    const std::uint64_t h3 = obs::hostNowNs();
+    const Cycle c3 = ctx.t;
 
     // ---- Step 5: PS-ORAM eviction. ----
-    evictor_->run(ctx);
+    {
+        PSORAM_TRACE_SCOPE("phase", "evict", access_id);
+        evictor_->run(ctx);
+    }
+    const std::uint64_t h4 = obs::hostNowNs();
+    const Cycle c4 = ctx.t;
 
     now_ = std::max(ctx.t, ctx.start);
     ctx.info.nvm_cycles = now_ - ctx.start;
     stash_.sampleOccupancy();
+
+    // The evict window contains the WPQ drain; report it as its own
+    // phase (evict excludes it) so the breakdown still sums to total.
+    const std::uint64_t evict_host = h4 - h3;
+    const std::uint64_t drain_host =
+        std::min(ctx.drain_host_ns, evict_host);
+    phase_ns_.sampleAccess(static_cast<double>(h1 - h0),
+                           static_cast<double>(h2 - h1),
+                           static_cast<double>(h3 - h2),
+                           static_cast<double>(evict_host - drain_host),
+                           static_cast<double>(drain_host),
+                           static_cast<double>(h4 - h0));
+    const Cycle evict_cycles = c4 - c3;
+    const Cycle drain_cycles = std::min(ctx.drain_cycles, evict_cycles);
+    phase_cycles_.sampleAccess(
+        static_cast<double>(c1 - c0), static_cast<double>(c2 - c1),
+        static_cast<double>(c3 - c2),
+        static_cast<double>(evict_cycles - drain_cycles),
+        static_cast<double>(drain_cycles),
+        static_cast<double>(c4 - c0));
     return ctx.info;
 }
 
@@ -231,8 +292,28 @@ PsOramController::powerFailureFlush()
 }
 
 void
+PsOramController::registerStats(StatGroup &group) const
+{
+    group.addCounter("accesses", &accesses_,
+                     "controller accesses served (stash hits included)");
+    group.addCounter("stash_hits", &counters_.stash_hits,
+                     "accesses served from the stash (step-1 fast path)");
+    group.addCounter("backups", &counters_.backups,
+                     "backup blocks created (step 4)");
+    group.addCounter("stale_dropped", &counters_.stale_dropped,
+                     "stale tree copies dropped during path loads");
+    group.addCounter("forced_merges", &counters_.forced_merges,
+                     "temporary-PosMap overflows forcing a merge");
+    group.addCounter("unplaced_carried", &counters_.unplaced_carried,
+                     "live stash residue carried across evictions");
+    phase_ns_.registerWith(group, "phase_ns");
+    phase_cycles_.registerWith(group, "phase_cycles");
+}
+
+void
 PsOramController::recoverFromNvm()
 {
+    PSORAM_TRACE_SCOPE("recovery", "recover_from_nvm", 0);
     stash_.clear();
     temp_.clear();
     volatile_posmap_.clear();

@@ -171,6 +171,29 @@ class PsOramController
     }
     Cycle nowCycles() const { return now_; }
 
+    /** @{ Per-phase latency breakdown (remap/load/backup/evict/drain),
+     *  maintained for every full (non-stash-hit) access. Host wall time
+     *  attributes simulator CPU cost; sim cycles attribute modeled NVM
+     *  time. Reading mid-run is safe (mutex-guarded distributions). */
+    const PhaseLatencyStats &phaseHostNs() const { return phase_ns_; }
+    const PhaseLatencyStats &phaseSimCycles() const
+    {
+        return phase_cycles_;
+    }
+    /** @} */
+
+    /**
+     * Correlation id for the *next* access (consumed by it; 0 restores
+     * the per-controller automatic sequence). The engine frontends pass
+     * their request id so one access is traceable from submit through
+     * its phase events to completion.
+     */
+    void setNextAccessId(std::uint64_t id) { pending_access_id_ = id; }
+
+    /** Register this controller's counters and phase latencies with
+     *  @p group (metrics export; pointers remain owned here). */
+    void registerStats(StatGroup &group) const;
+
     /** Total NVM traffic: main device plus on-chip NVM buffer writes
      *  (the FullNVM designs' dominant cost, counted as in Fig. 6). */
     TrafficCounts traffic() const;
@@ -232,6 +255,14 @@ class PsOramController
 
     Counter accesses_;
     ProtocolCounters counters_;
+
+    /** @{ Per-phase latency breakdowns (host ns / simulated cycles). */
+    PhaseLatencyStats phase_ns_;
+    PhaseLatencyStats phase_cycles_;
+    /** @} */
+
+    /** Engine-supplied id for the next access (0 = automatic). */
+    std::uint64_t pending_access_id_ = 0;
 
     /** Reused per-access context (reset() keeps vector capacity). */
     AccessContext ctx_;

@@ -1,11 +1,14 @@
 #include "psoram/recovery.hh"
 
+#include "obs/trace.hh"
+
 namespace psoram {
 
 std::unique_ptr<PsOramController>
 RecoveryManager::recover(std::unique_ptr<PsOramController> crashed,
                          MemoryBackend &device, RecoveryReport *report)
 {
+    PSORAM_TRACE_SCOPE("recovery", "recover", 0);
     const PsOramParams params = crashed->params();
     const bool onchip_nv =
         params.design.stash_tech != StashTech::SRAM;

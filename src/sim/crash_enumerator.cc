@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/random.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -80,6 +81,15 @@ runTrace(System &system, const std::vector<TraceOp> &trace,
 std::vector<std::string>
 runArmedCrash(const CrashEnumConfig &config, std::uint64_t k)
 {
+    // Record this replay in isolation: a failure then writes exactly
+    // the dying run's events, not the whole enumeration's history.
+    if (!config.trace_path.empty()) {
+        obs::TraceRecorder &recorder = obs::TraceRecorder::instance();
+        if (!obs::TraceRecorder::enabled())
+            recorder.enable();
+        recorder.clear();
+    }
+
     System system = buildSystem(config.system);
     RecoveryOracle oracle;
     system.controller->setCommitObserver(oracle.observer());
@@ -135,6 +145,8 @@ runArmedCrash(const CrashEnumConfig &config, std::uint64_t k)
                     std::to_string(post[addr]));
         }
     }
+    if (!violations.empty() && !config.trace_path.empty())
+        obs::TraceRecorder::instance().writeTo(config.trace_path);
     return violations;
 }
 
@@ -158,15 +170,18 @@ enumerateCrashPoints(const CrashEnumConfig &config)
     }
 
     const std::uint64_t stride = config.stride == 0 ? 1 : config.stride;
+    CrashEnumConfig armed = config;
     for (std::uint64_t k = 1; k <= summary.total_boundaries;
          k += stride) {
         ++summary.replays;
-        std::vector<std::string> violations = runArmedCrash(config, k);
+        std::vector<std::string> violations = runArmedCrash(armed, k);
         if (!violations.empty()) {
             CrashPointFailure failure;
             failure.boundary = k;
             failure.violations = std::move(violations);
             summary.failures.push_back(std::move(failure));
+            // Keep the *first* failing replay's trace on disk.
+            armed.trace_path.clear();
         }
     }
     return summary;

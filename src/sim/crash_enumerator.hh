@@ -59,6 +59,13 @@ struct CrashEnumConfig
     /** Replay every stride-th boundary only (1 = exhaustive). The
      *  torture harness uses larger strides for big traces. */
     std::uint64_t stride = 1;
+    /**
+     * Non-empty: record every armed replay into the trace ring buffers
+     * (cleared per replay) and write the Chrome trace of a *failing*
+     * replay here — enumerateCrashPoints() keeps the first failure's
+     * trace, so a red run ships with the dying run's event timeline.
+     */
+    std::string trace_path;
 };
 
 /** Outcome of one armed replay that produced violations. */

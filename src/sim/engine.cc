@@ -2,33 +2,44 @@
 
 #include <cstring>
 
+#include "obs/trace.hh"
+
 namespace psoram {
 
 OramEngine::RequestId
-OramEngine::submitRead(BlockAddr addr, Callback callback)
+OramEngine::submitRead(BlockAddr addr, Callback callback,
+                       RequestId forced_id)
 {
     Pending request;
-    request.id = next_id_++;
+    request.id = forced_id != 0 ? forced_id : next_id_++;
     request.addr = addr;
     request.is_write = false;
     request.callback = std::move(callback);
     queue_.push_back(std::move(request));
     ++stats_.submitted;
+    // A forced id means an outer frontend already emitted the submit
+    // marker on the caller's thread; don't double-count the event.
+    if (forced_id == 0)
+        PSORAM_TRACE_INSTANT("engine", "submit_read",
+                             queue_.back().id);
     return queue_.back().id;
 }
 
 OramEngine::RequestId
 OramEngine::submitWrite(BlockAddr addr, const std::uint8_t *data,
-                        Callback callback)
+                        Callback callback, RequestId forced_id)
 {
     Pending request;
-    request.id = next_id_++;
+    request.id = forced_id != 0 ? forced_id : next_id_++;
     request.addr = addr;
     request.is_write = true;
     std::memcpy(request.data.data(), data, kBlockDataBytes);
     request.callback = std::move(callback);
     queue_.push_back(std::move(request));
     ++stats_.submitted;
+    if (forced_id == 0)
+        PSORAM_TRACE_INSTANT("engine", "submit_write",
+                             queue_.back().id);
     return queue_.back().id;
 }
 
@@ -48,6 +59,7 @@ OramEngine::finish(const Pending &request, bool coalesced, Cycle start,
     ++stats_.completed;
     if (coalesced)
         ++stats_.coalesced;
+    PSORAM_TRACE_INSTANT("engine", "complete", completion.id);
     if (request.callback)
         request.callback(completion);
     if (config_.record_completions)
@@ -80,6 +92,7 @@ OramEngine::poll()
     // it opens with a physical read. A run headed by a write squashes
     // the old value (writes are full-block), so no read is needed.
     if (!batch.front().is_write) {
+        ctrl_.setNextAccessId(batch.front().id);
         info = ctrl_.read(addr, block.data());
         if (!info.stash_hit)
             ++stats_.physical_accesses;
@@ -100,6 +113,7 @@ OramEngine::poll()
 
     // All folded writes land in one physical write of the final value.
     if (any_write) {
+        ctrl_.setNextAccessId(batch.front().id);
         const OramAccessInfo winfo = ctrl_.write(addr, block.data());
         if (!winfo.stash_hit)
             ++stats_.physical_accesses;
@@ -128,6 +142,19 @@ OramEngine::takeCompletions()
     std::vector<Completion> out;
     out.swap(completions_);
     return out;
+}
+
+void
+OramEngine::registerStats(StatGroup &group) const
+{
+    group.addCounter("submitted", &stats_.submitted,
+                     "requests enqueued");
+    group.addCounter("completed", &stats_.completed,
+                     "completions delivered");
+    group.addCounter("physical_accesses", &stats_.physical_accesses,
+                     "controller accesses that touched the tree");
+    group.addCounter("coalesced", &stats_.coalesced,
+                     "requests absorbed into an earlier access");
 }
 
 } // namespace psoram

@@ -79,10 +79,17 @@ class OramEngine
     }
 
     /** @{ Enqueue a request; returns immediately. The write payload is
-     *  copied. The callback (optional) fires during poll()/drain(). */
-    RequestId submitRead(BlockAddr addr, Callback callback = nullptr);
+     *  copied. The callback (optional) fires during poll()/drain().
+     *
+     *  @p forced_id (0 = assign from the engine's own sequence) lets an
+     *  outer frontend impose its request id, so trace events recorded by
+     *  the controller correlate with the id the outer caller saw. The
+     *  caller owns uniqueness of forced ids. */
+    RequestId submitRead(BlockAddr addr, Callback callback = nullptr,
+                         RequestId forced_id = 0);
     RequestId submitWrite(BlockAddr addr, const std::uint8_t *data,
-                          Callback callback = nullptr);
+                          Callback callback = nullptr,
+                          RequestId forced_id = 0);
     /** @} */
 
     /**
@@ -113,6 +120,20 @@ class OramEngine
         Counter coalesced;
     };
     const Stats &stats() const { return stats_; }
+
+    /** Register the engine counters with @p group (metrics export). */
+    void registerStats(StatGroup &group) const;
+
+    /** @{ Per-phase latency breakdown, delegated to the controller. */
+    const PhaseLatencyStats &phaseHostNs() const
+    {
+        return ctrl_.phaseHostNs();
+    }
+    const PhaseLatencyStats &phaseSimCycles() const
+    {
+        return ctrl_.phaseSimCycles();
+    }
+    /** @} */
 
   private:
     struct Pending

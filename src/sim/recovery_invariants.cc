@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 #include "oram/block.hh"
 #include "oram/recursive_posmap.hh"
 #include "oram/tree.hh"
@@ -107,6 +108,7 @@ scanTree(const MemoryBackend &device, const TreeLayout &layout,
 std::vector<std::string>
 checkRecoveryInvariants(System &system, const RecoveryOracle &oracle)
 {
+    PSORAM_TRACE_SCOPE("recovery", "check_invariants", 0);
     std::vector<std::string> violations;
     PsOramController &ctrl = *system.controller;
     const PsOramParams &params = system.params;

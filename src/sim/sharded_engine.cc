@@ -1,8 +1,10 @@
 #include "sim/sharded_engine.hh"
 
 #include <cstring>
+#include <string>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -96,6 +98,10 @@ ShardedOramEngine::submit(BlockAddr addr, bool is_write,
     request.callback = std::move(callback);
 
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    PSORAM_TRACE_INSTANT_ARG("engine",
+                             is_write ? "submit_write" : "submit_read",
+                             id, "shard",
+                             static_cast<std::int64_t>(slot.shard));
     Worker &worker = *workers_[slot.shard];
     bool was_empty;
     {
@@ -128,6 +134,9 @@ ShardedOramEngine::submitWrite(BlockAddr addr, const std::uint8_t *data,
 void
 ShardedOramEngine::workerLoop(Worker &worker)
 {
+    // One trace track per shard worker, named once at thread start.
+    obs::TraceRecorder::setThreadName(
+        "shard" + std::to_string(worker.shard) + ".worker");
     for (;;) {
         std::deque<Request> batch;
         {
@@ -185,13 +194,18 @@ ShardedOramEngine::workerLoop(Worker &worker)
                           out.data = inner.data;
                           deliver(std::move(out), std::move(callback));
                       });
+            // Force the outer request id onto the inner engine so the
+            // shard controller's phase events carry the id the caller
+            // observed at submit time.
             if (request.is_write)
                 worker.engine->submitWrite(request.local_addr,
                                            request.data.data(),
-                                           std::move(wrapped));
+                                           std::move(wrapped),
+                                           request.id);
             else
                 worker.engine->submitRead(request.local_addr,
-                                          std::move(wrapped));
+                                          std::move(wrapped),
+                                          request.id);
         }
         worker.engine->drain();
         if (fire_and_forget != 0) {
@@ -218,6 +232,7 @@ ShardedOramEngine::deliver(Completion completion, Callback callback)
 void
 ShardedOramEngine::drainLoop()
 {
+    obs::TraceRecorder::setThreadName("completions.drain");
     for (;;) {
         Delivery delivery;
         {
@@ -282,6 +297,33 @@ ShardedOramEngine::shardStats(unsigned shard) const
     snap.controller_accesses = worker.controller->accessCount();
     snap.stash_hits = worker.controller->stashHits();
     return snap;
+}
+
+PhaseLatencyStats
+ShardedOramEngine::mergedPhaseHostNs() const
+{
+    PhaseLatencyStats merged;
+    for (const auto &worker : workers_)
+        merged.merge(worker->controller->phaseHostNs());
+    return merged;
+}
+
+PhaseLatencyStats
+ShardedOramEngine::mergedPhaseSimCycles() const
+{
+    PhaseLatencyStats merged;
+    for (const auto &worker : workers_)
+        merged.merge(worker->controller->phaseSimCycles());
+    return merged;
+}
+
+void
+ShardedOramEngine::registerShardStats(unsigned shard,
+                                      StatGroup &group) const
+{
+    const Worker &worker = *workers_.at(shard);
+    worker.engine->registerStats(group);
+    worker.controller->registerStats(group);
 }
 
 ShardedOramEngine::StatsSnapshot

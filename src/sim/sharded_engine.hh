@@ -139,6 +139,16 @@ class ShardedOramEngine
     /** All shards merged (safe while workers run). */
     StatsSnapshot stats() const;
 
+    /** @{ Per-phase latency breakdowns merged across every shard's
+     *  controller (read-side snapshot merge; safe while workers run). */
+    PhaseLatencyStats mergedPhaseHostNs() const;
+    PhaseLatencyStats mergedPhaseSimCycles() const;
+    /** @} */
+
+    /** Register shard @p shard's engine counters and its controller's
+     *  phase latencies with @p group (metrics export). */
+    void registerShardStats(unsigned shard, StatGroup &group) const;
+
   private:
     struct Request
     {

@@ -19,10 +19,16 @@
  *
  * Usage:
  *   torture_crash [--seed=N] [--duration=SECONDS] [--iterations=N]
- *                 [--report=PATH]
+ *                 [--report=PATH] [--trace=PATH] [--metrics=PATH]
  *
  * --duration and --iterations are both stop conditions; the first one
  * reached wins. Defaults: seed 1, duration 10 s, iterations unlimited.
+ *
+ * --trace records the run into the Chrome-trace ring buffers and, on a
+ * failing iteration, writes the trace of the dying run next to the
+ * report (the buffers are cleared per iteration so the file holds the
+ * failure, not megabytes of healthy history). --metrics dumps a
+ * snapshot of the recovery counters at exit.
  */
 
 #include <chrono>
@@ -37,6 +43,9 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/crash_enumerator.hh"
 #include "sim/recovery_invariants.hh"
 #include "sim/sharded_system.hh"
@@ -51,6 +60,10 @@ struct Options
     double duration_s = -1.0;     // < 0 = no time bound
     std::uint64_t iterations = 0; // 0 = unlimited
     std::string report = "torture_crash_failure.txt";
+    /** Non-empty: record, and write the failing iteration's trace. */
+    std::string trace;
+    /** Non-empty: dump a metrics snapshot at exit. */
+    std::string metrics;
 };
 
 /** splitmix64: independent per-iteration seed stream. */
@@ -150,11 +163,13 @@ scrubBackingFiles(const TortureCase &tc)
     std::remove((tc.system.backing_file + ".tmp").c_str());
 }
 
+/** Run counters (common/stats.hh Counters so the metrics exporter can
+ *  snapshot them directly). */
 struct IterationStats
 {
-    std::uint64_t fired = 0;
-    std::uint64_t not_fired = 0;
-    std::uint64_t boundaries = 0;
+    Counter fired;
+    Counter not_fired;
+    Counter boundaries;
 };
 
 /**
@@ -319,12 +334,38 @@ tortureMain(const Options &options)
             .count();
     };
 
+    const bool tracing = !options.trace.empty();
+    if (tracing)
+        obs::TraceRecorder::instance().enable();
+
     IterationStats stats;
+    Counter iterations_run;
+    StatGroup torture_group("torture");
+    torture_group.addCounter("iterations", &iterations_run,
+                             "torture iterations completed");
+    torture_group.addCounter("crashes_fired", &stats.fired,
+                             "iterations whose armed fault fired");
+    torture_group.addCounter("no_fire_audits", &stats.not_fired,
+                             "iterations run as no-crash audits");
+    torture_group.addCounter("boundaries_crossed", &stats.boundaries,
+                             "persist boundaries crossed in total");
+    const auto writeMetrics = [&] {
+        if (options.metrics.empty())
+            return;
+        obs::MetricsExporter exporter;
+        exporter.addGroup(&torture_group);
+        exporter.writeTo(options.metrics);
+    };
+
     std::uint64_t iteration = 0;
     while ((options.iterations == 0 ||
             iteration < options.iterations) &&
            (options.duration_s < 0 ||
             elapsed() < options.duration_s)) {
+        // Per-iteration clear: on a failure the buffers hold exactly
+        // the dying run.
+        if (tracing)
+            obs::TraceRecorder::instance().clear();
         Rng rng(mix(options.seed ^ mix(iteration)));
         TortureCase tc = drawCase(rng, iteration);
         std::vector<std::string> violations;
@@ -347,25 +388,33 @@ tortureMain(const Options &options)
                    << (iteration + 1) << "\n";
             for (const std::string &v : violations)
                 report << "  violation: " << v << "\n";
+            if (tracing) {
+                obs::TraceRecorder::instance().writeTo(options.trace);
+                report << "  trace:     " << options.trace << "\n";
+            }
             std::cerr << report.str();
             std::ofstream out(options.report, std::ios::trunc);
             out << report.str();
+            writeMetrics();
             return 1;
         }
         ++iteration;
+        ++iterations_run;
         if (iteration % 1000 == 0)
             std::cout << "torture: " << iteration << " iterations, "
-                      << stats.fired << " crashes fired, "
-                      << stats.not_fired << " no-fire audits, "
-                      << stats.boundaries << " boundaries crossed ("
-                      << elapsed() << " s)\n";
+                      << stats.fired.value() << " crashes fired, "
+                      << stats.not_fired.value() << " no-fire audits, "
+                      << stats.boundaries.value()
+                      << " boundaries crossed (" << elapsed() << " s)\n";
     }
 
     std::cout << "torture: PASS — " << iteration << " iterations, "
-              << stats.fired << " crashes fired, " << stats.not_fired
-              << " no-fire audits, " << stats.boundaries
+              << stats.fired.value() << " crashes fired, "
+              << stats.not_fired.value() << " no-fire audits, "
+              << stats.boundaries.value()
               << " boundaries crossed in " << elapsed() << " s (seed "
               << options.seed << ")\n";
+    writeMetrics();
     return 0;
 }
 
@@ -397,10 +446,15 @@ main(int argc, char **argv)
             options.iterations = std::stoull(value);
         else if (psoram::parseFlag(arg, "--report", value))
             options.report = value;
+        else if (psoram::parseFlag(arg, "--trace", value))
+            options.trace = value;
+        else if (psoram::parseFlag(arg, "--metrics", value))
+            options.metrics = value;
         else {
             std::cerr << "usage: torture_crash [--seed=N] "
                          "[--duration=SECONDS] [--iterations=N] "
-                         "[--report=PATH]\n";
+                         "[--report=PATH] [--trace=PATH] "
+                         "[--metrics=PATH]\n";
             return arg == "--help" ? 0 : 2;
         }
     }
