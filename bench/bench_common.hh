@@ -216,6 +216,42 @@ setupObservability(const BenchContext &ctx)
         obs::MetricsExporter::dumpAtExit(ctx.metrics_path);
 }
 
+/** Value of "--name <v>" or "--name=<v>" (empty when absent). */
+inline std::string
+flagValue(int argc, char **argv, const std::string &name)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == name && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind(name + "=", 0) == 0)
+            return arg.substr(name.size() + 1);
+    }
+    return "";
+}
+
+/** Parse a comma-separated depth list ("1,2,4,8"); invalid/empty
+ *  tokens are skipped. */
+inline std::vector<unsigned>
+parseDepthList(const std::string &value)
+{
+    std::vector<unsigned> depths;
+    std::string token;
+    for (std::size_t i = 0; i <= value.size(); ++i) {
+        if (i < value.size() && value[i] != ',') {
+            token += value[i];
+            continue;
+        }
+        if (!token.empty()) {
+            const long depth = std::strtol(token.c_str(), nullptr, 10);
+            if (depth > 0)
+                depths.push_back(static_cast<unsigned>(depth));
+            token.clear();
+        }
+    }
+    return depths;
+}
+
 inline BenchContext
 parseContext(int argc, char **argv)
 {

@@ -13,6 +13,12 @@
  * JSON-mode overrides: accesses=N (per-design target, default 20000),
  * maxseconds=S (per-design time cap, default 0.8) plus the usual
  * height/z/stash/wpq/cipher/seed keys.
+ *
+ * "--pipeline-depth D[,D...]" (with --json) switches to the pipeline
+ * depth-scaling mode instead: the PS-ORAM design is driven through an
+ * OramEngine at each listed pipeline depth (depth 1 is always measured
+ * first as the baseline) and the curve is written to the JSON file
+ * (BENCH_pipeline.json) with per-depth speedup_vs_depth1.
  */
 
 #include <benchmark/benchmark.h>
@@ -25,8 +31,11 @@
 
 #include "bench_common.hh"
 #include "nvm/fault_injector.hh"
+#include "nvm/write_behind.hh"
 #include "oram/block.hh"
+#include "oram/subtree_cache.hh"
 #include "psoram/drainer.hh"
+#include "sim/engine.hh"
 #include "sim/system.hh"
 
 namespace {
@@ -230,6 +239,124 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
     return report.writeTo(ctx.json_path) ? 0 : 1;
 }
 
+/**
+ * Pipeline depth-scaling mode: drive the persistent PS-ORAM design
+ * through an OramEngine at each requested pipeline depth and report the
+ * accesses/sec curve (BENCH_pipeline.json). Depth 1 — which builds no
+ * pipeline machinery at all and replays the exact synchronous traffic —
+ * is always measured first and anchors speedup_vs_depth1.
+ *
+ * The curve's shape is machine-dependent: moving the WPQ drain to a
+ * background thread only helps when there is a second core for it to
+ * run on, so on a single-core host depth > 1 reads below 1x by
+ * construction (DESIGN.md §12.6 quantifies this; the overrides
+ * fetchthreads= / cachebuckets= / retirerounds= exist to reproduce the
+ * control experiments there).
+ */
+int
+runPipelineJsonMode(const psoram::bench::BenchContext &ctx,
+                    std::vector<unsigned> depths)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t target =
+        ctx.overrides.getUint("accesses", 20'000);
+    const double max_seconds =
+        ctx.overrides.getDouble("maxseconds", 2.0);
+
+    // Depth 1 anchors the speedup column: force it to the front.
+    if (depths.empty())
+        depths = {1, 2, 4, 8};
+    if (depths.front() != 1)
+        depths.insert(depths.begin(), 1u);
+
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::PsOram);
+    psoram::bench::JsonReport report("pipeline_depth");
+    report.metaCount("tree_height", banner.tree_height)
+        .metaCount("bucket_slots", banner.bucket_slots)
+        .metaCount("stash_capacity", banner.stash_capacity)
+        .metaCount("wpq_entries", banner.wpq_entries)
+        .meta("cipher", banner.cipher == CipherKind::Aes128Ctr
+                  ? "aes" : "fast")
+        .metaCount("seed", banner.seed)
+        .metaCount("target_accesses", target)
+        .metaCount("fetch_threads", banner.fetch_threads);
+
+    double depth1_rate = 0.0;
+    for (const unsigned depth : depths) {
+        SystemConfig config =
+            configFromOverrides(ctx.overrides, DesignKind::PsOram);
+        config.pipeline_depth = depth;
+        config.fetch_threads = static_cast<unsigned>(
+            ctx.overrides.getUint("fetchthreads", config.fetch_threads));
+        config.cache_buckets = ctx.overrides.getUint("cachebuckets", 0);
+        config.retire_queue_rounds =
+            ctx.overrides.getUint("retirerounds", 0);
+        System system = buildSystem(config);
+        EngineConfig engine_config;
+        engine_config.record_completions = false;
+        OramEngine engine(*system.controller, engine_config);
+
+        std::uint8_t buf[kBlockDataBytes] = {};
+        BlockAddr addr = 0;
+        const auto submitChunk = [&](unsigned count) {
+            for (unsigned i = 0; i < count; ++i) {
+                engine.submitWrite(addr, buf, nullptr);
+                addr = (addr + 97) % system.params.num_blocks;
+            }
+            engine.drain();
+        };
+        submitChunk(512); // warm the tree and the stash
+
+        std::uint64_t accesses = 0;
+        const auto t0 = Clock::now();
+        double elapsed = 0.0;
+        while (accesses < target && elapsed < max_seconds) {
+            submitChunk(256);
+            accesses += 256;
+            elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                          .count();
+        }
+
+        const double rate = static_cast<double>(accesses) / elapsed;
+        if (depth == depths.front())
+            depth1_rate = rate;
+        auto &row = report.addRow();
+        row.count("pipeline_depth", depth)
+            .count("resolved_depth", engine.pipelineDepth())
+            .count("accesses", accesses)
+            .num("seconds", elapsed)
+            .num("accesses_per_sec", rate)
+            .num("ns_per_access",
+                 elapsed * 1e9 / static_cast<double>(accesses))
+            .num("speedup_vs_depth1",
+                 depth1_rate > 0.0 ? rate / depth1_rate : 1.0);
+        if (const SubtreeCache *cache =
+                system.controller->subtreeCache()) {
+            row.count("subtree_cache_hits", cache->hits())
+                .count("subtree_cache_misses", cache->misses());
+        }
+        if (const WriteBehindNvm *wb = system.controller->writeBehind())
+            row.count("rounds_retired", wb->roundsRetired())
+                .count("writes_coalesced", wb->writesCoalesced())
+                .count("retire_transactions", wb->retireTransactions());
+        const PhaseLatencyStats &phases =
+            system.controller->phaseHostNs();
+        row.num("phase_remap_ns_mean", phases.remap.mean())
+            .num("phase_load_ns_mean", phases.load.mean())
+            .num("phase_backup_ns_mean", phases.backup.mean())
+            .num("phase_evict_ns_mean", phases.evict.mean())
+            .num("phase_drain_ns_mean", phases.drain.mean());
+        std::cout << "depth " << depth << ": "
+                  << static_cast<std::uint64_t>(rate)
+                  << " accesses/sec (" << accesses << " in " << elapsed
+                  << " s, x" << (rate / depth1_rate)
+                  << " vs depth 1)\n";
+    }
+
+    return report.writeTo(ctx.json_path) ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -237,6 +364,11 @@ main(int argc, char **argv)
 {
     const psoram::bench::BenchContext ctx =
         psoram::bench::parseContext(argc, argv);
+    const std::string depth_flag =
+        psoram::bench::flagValue(argc, argv, "--pipeline-depth");
+    if (!ctx.json_path.empty() && !depth_flag.empty())
+        return runPipelineJsonMode(
+            ctx, psoram::bench::parseDepthList(depth_flag));
     if (!ctx.json_path.empty())
         return runJsonMode(ctx);
 
@@ -247,12 +379,14 @@ main(int argc, char **argv)
     std::vector<char *> filtered;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--trace" || arg == "--metrics") {
-            ++i; // skip the path operand too
+        if (arg == "--trace" || arg == "--metrics" ||
+            arg == "--pipeline-depth") {
+            ++i; // skip the operand too
             continue;
         }
         if (arg.rfind("--trace=", 0) == 0 ||
-            arg.rfind("--metrics=", 0) == 0)
+            arg.rfind("--metrics=", 0) == 0 ||
+            arg.rfind("--pipeline-depth=", 0) == 0)
             continue;
         if (i == 0 || argv[i][0] == '-')
             filtered.push_back(argv[i]);

@@ -51,6 +51,21 @@ class MemoryBackend
     /** @} */
 
     /**
+     * Functional write that does NOT report a persist boundary. Used by
+     * the background WPQ retirer: entries of a *committed* round are
+     * already durable under ADR semantics (a crash anywhere during their
+     * retirement is recovered by the power-failure flush), so their
+     * landing in the image is not a distinct enumerable crash point.
+     * Default: forwards to writeBytes (backends without an injector
+     * behave identically either way).
+     */
+    virtual void
+    writeBytesQuiet(Addr addr, const std::uint8_t *in, std::size_t len)
+    {
+        writeBytes(addr, in, len);
+    }
+
+    /**
      * Timing-only access: schedule @p len bytes starting at @p addr as
      * 64-byte line transfers.
      *

@@ -64,8 +64,6 @@ NvmDevice::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
 void
 NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
 {
-    if (addr > capacity_ || len > capacity_ - addr)
-        PSORAM_PANIC("NVM write past capacity: addr=", addr, " len=", len);
     // Persist boundary: the durable image is about to change. A fault
     // raised here aborts *before* the write applies; for writes inside
     // a committed WPQ drain the entry stays queued and the ADR flush
@@ -74,6 +72,15 @@ NvmDevice::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
         fault_injector_->boundary(fault_injector_->inDrain()
                                       ? PersistBoundary::DrainWrite
                                       : PersistBoundary::DirectWrite);
+    writeBytesQuiet(addr, in, len);
+}
+
+void
+NvmDevice::writeBytesQuiet(Addr addr, const std::uint8_t *in,
+                           std::size_t len)
+{
+    if (addr > capacity_ || len > capacity_ - addr)
+        PSORAM_PANIC("NVM write past capacity: addr=", addr, " len=", len);
     std::size_t off = 0;
     while (off < len) {
         const Addr cur = addr + off;

@@ -50,6 +50,9 @@ class NvmDevice : public MemoryBackend
                    std::size_t len) const override;
     void writeBytes(Addr addr, const std::uint8_t *in,
                     std::size_t len) override;
+    /** Write without reporting a persist boundary (see MemoryBackend). */
+    void writeBytesQuiet(Addr addr, const std::uint8_t *in,
+                         std::size_t len) override;
     /** @} */
 
     /**

@@ -1,0 +1,335 @@
+#include "nvm/write_behind.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "obs/trace.hh"
+
+namespace psoram {
+
+WriteBehindNvm::WriteBehindNvm(MemoryBackend &inner,
+                               std::size_t max_queued_rounds)
+    : inner_(inner),
+      max_queued_rounds_(max_queued_rounds == 0 ? 1 : max_queued_rounds)
+{
+    wake_threshold_ = std::max<std::size_t>(1, max_queued_rounds_ / 2);
+    pending_.reserve(max_queued_rounds_ * 128);
+    retire_thread_ = std::thread([this] { retireLoop(); });
+}
+
+WriteBehindNvm::~WriteBehindNvm()
+{
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        stop_ = true;
+    }
+    rounds_cv_.notify_all();
+    if (retire_thread_.joinable())
+        retire_thread_.join();
+    // Whatever the thread did not get to is still committed state:
+    // apply it synchronously (same ordering, same writer — us).
+    for (const Round &round : queue_)
+        for (const WpqEntry &entry : round.entries)
+            inner_.writeBytesQuiet(entry.addr, entry.data.data(),
+                                   entry.data.size());
+}
+
+void
+WriteBehindNvm::submitRound(std::vector<WpqEntry> entries)
+{
+    if (entries.empty())
+        return;
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    space_cv_.wait(lock, [this] {
+        return queue_.size() < max_queued_rounds_;
+    });
+    const std::uint64_t seq = next_seq_++;
+    // Pointer, not copy: the entry vector's buffer survives the move
+    // into the queue (and the later swap into a retire batch) intact.
+    for (const WpqEntry &entry : entries) {
+        PendingWrite &pw = pending_[entry.addr];
+        pw.entry = &entry;
+        pw.seq = seq;
+    }
+    queue_.push_back(Round{std::move(entries), seq});
+    const bool wake = queue_.size() >= wake_threshold_;
+    lock.unlock();
+    if (wake)
+        rounds_cv_.notify_one();
+}
+
+void
+WriteBehindNvm::flushQueuedLocked(std::unique_lock<std::mutex> &lock)
+{
+    // A flush overrides the batching watermark: wake the retirer even
+    // if the backlog is shallow.
+    ++flush_waiters_;
+    rounds_cv_.notify_one();
+    space_cv_.wait(lock, [this] {
+        return queue_.empty() && !retiring_;
+    });
+    --flush_waiters_;
+}
+
+void
+WriteBehindNvm::flushQueued()
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    flushQueuedLocked(lock);
+}
+
+void
+WriteBehindNvm::retireLoop()
+{
+    for (;;) {
+        std::deque<Round> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            rounds_cv_.wait(lock, [this] {
+                return stop_ ||
+                       (!queue_.empty() &&
+                        (flush_waiters_ > 0 ||
+                         queue_.size() >= wake_threshold_));
+            });
+            if (queue_.empty()) // stop_ and nothing left
+                return;
+            // Swap the whole backlog: one wakeup retires every round
+            // committed so far, and submitters refill the (now empty)
+            // queue while the batch lands.
+            batch.swap(queue_);
+            retiring_ = true;
+        }
+        space_cv_.notify_all(); // queue space freed by the swap
+
+        retireBatch(batch);
+
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            retiring_ = false;
+            rounds_retired_ += batch.size();
+        }
+        space_cv_.notify_all();
+    }
+}
+
+void
+WriteBehindNvm::retireBatch(std::deque<Round> &batch)
+{
+    // One hold of each lock for the WHOLE batch. Per-round (or
+    // per-entry) holds look friendlier to concurrent readers, but on a
+    // loaded host they turn every hold boundary into a potential
+    // context switch: the drive thread blocks on the device lock, the
+    // scheduler flips back and forth, and the ping-pong costs far more
+    // than the stall. With one exclusive hold the drive thread blocks
+    // at most once per batch, the retirer runs the batch to completion
+    // cache-hot, and the stall amortizes over every round in it.
+    //
+    // Under the queue lock, one pass decides per entry whether it is
+    // still the newest committed value for its address AND unshadows it
+    // in the same probe. An entry whose pending-map sequence moved on
+    // is stale — a newer committed round (queued behind us, or inside
+    // this very batch) will overwrite its cells, readers already
+    // resolve the address from the pending map, and a power failure
+    // flushes the newer round too. Skipping it is the WPQ write
+    // coalescing described in the header. Erasing a *live* entry before
+    // its bytes land is safe only because the exclusive device lock is
+    // already held: a reader that now misses the pending map blocks on
+    // the device lock until the whole batch has been applied.
+    //
+    // With the queue lock released again (it is never held across an
+    // inner-device operation), survivors at adjacent addresses (the
+    // slots of one bucket are contiguous) merge into single device
+    // transactions. Quiet writes keep the fault injector
+    // single-threaded; entry order (data before PosMap, rounds in
+    // sequence order) is preserved, though nothing can observe it — no
+    // crash point is enumerable inside a quiet retirement.
+    std::uint64_t coalesced = 0;
+    std::uint64_t transactions = 0;
+    std::vector<std::vector<char>> live(batch.size());
+
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+            const Round &round = batch[r];
+            live[r].assign(round.entries.size(), 0);
+            for (std::size_t e = 0; e < round.entries.size(); ++e) {
+                const auto it = pending_.find(round.entries[e].addr);
+                if (it != pending_.end() &&
+                    it->second.seq == round.seq) {
+                    live[r][e] = 1;
+                    pending_.erase(it);
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint8_t> run;
+    Addr run_base = 0;
+    const auto flushRun = [&] {
+        if (run.empty())
+            return;
+        inner_.writeBytesQuiet(run_base, run.data(), run.size());
+        ++transactions;
+        run.clear();
+    };
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+        const Round &round = batch[r];
+        for (std::size_t e = 0; e < round.entries.size(); ++e) {
+            if (!live[r][e]) {
+                ++coalesced;
+                continue;
+            }
+            const WpqEntry &entry = round.entries[e];
+            if (run.empty() || run_base + run.size() != entry.addr) {
+                flushRun();
+                run_base = entry.addr;
+            }
+            run.insert(run.end(), entry.data.begin(),
+                       entry.data.end());
+        }
+    }
+    flushRun();
+    dev.unlock();
+
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    writes_coalesced_ += coalesced;
+    retire_transactions_ += transactions;
+}
+
+void
+WriteBehindNvm::readBytes(Addr addr, std::uint8_t *out,
+                          std::size_t len) const
+{
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        const auto it = pending_.find(addr);
+        if (it != pending_.end() &&
+            it->second.entry->data.size() >= len) {
+            std::memcpy(out, it->second.entry->data.data(), len);
+            return;
+        }
+    }
+    // Miss (or partial entry, which the aligned protocol granules never
+    // produce): read the durable image. Shared lock: concurrent fetch
+    // threads read in parallel; the retire thread excludes them only
+    // while a round lands.
+    std::shared_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.readBytes(addr, out, len);
+}
+
+void
+WriteBehindNvm::writeBytes(Addr addr, const std::uint8_t *in,
+                           std::size_t len)
+{
+    // Direct writes (shadow regions, recovery, naive scratch) must land
+    // after every queued round to preserve program order on the image.
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.writeBytes(addr, in, len);
+}
+
+void
+WriteBehindNvm::writeBytesQuiet(Addr addr, const std::uint8_t *in,
+                                std::size_t len)
+{
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.writeBytesQuiet(addr, in, len);
+}
+
+Cycle
+WriteBehindNvm::access(Addr addr, std::size_t len, bool is_write,
+                       Cycle earliest)
+{
+    return inner_.access(addr, len, is_write, earliest);
+}
+
+Cycle
+WriteBehindNvm::accessOne(Addr addr, bool is_write, Cycle earliest)
+{
+    return inner_.accessOne(addr, is_write, earliest);
+}
+
+std::uint64_t
+WriteBehindNvm::capacity() const
+{
+    return inner_.capacity();
+}
+
+std::uint64_t
+WriteBehindNvm::totalReads() const
+{
+    return inner_.totalReads();
+}
+
+std::uint64_t
+WriteBehindNvm::totalWrites() const
+{
+    return inner_.totalWrites();
+}
+
+std::uint64_t
+WriteBehindNvm::distinctLinesWritten() const
+{
+    return inner_.distinctLinesWritten();
+}
+
+std::uint64_t
+WriteBehindNvm::maxLineWrites() const
+{
+    return inner_.maxLineWrites();
+}
+
+double
+WriteBehindNvm::meanLineWrites() const
+{
+    return inner_.meanLineWrites();
+}
+
+void
+WriteBehindNvm::resetStats()
+{
+    inner_.resetStats();
+}
+
+MemoryImage
+WriteBehindNvm::image() const
+{
+    // The image must reflect every committed round (it feeds the
+    // crash-replay snapshot): drain the queue first.
+    const_cast<WriteBehindNvm *>(this)->flushQueued();
+    std::shared_lock<std::shared_mutex> dev(device_mutex_);
+    return inner_.image();
+}
+
+void
+WriteBehindNvm::restoreImage(const MemoryImage &img)
+{
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.restoreImage(img);
+}
+
+std::uint64_t
+WriteBehindNvm::roundsRetired() const
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    return rounds_retired_;
+}
+
+std::uint64_t
+WriteBehindNvm::writesCoalesced() const
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    return writes_coalesced_;
+}
+
+std::uint64_t
+WriteBehindNvm::retireTransactions() const
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    return retire_transactions_;
+}
+
+} // namespace psoram

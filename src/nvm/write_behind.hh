@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Write-behind NVM decorator: retires committed WPQ rounds on a
+ * background thread, deamortizing the drain cost that PR 5's phase
+ * breakdown measured at 49 % of every access.
+ *
+ * Crash-consistency argument (DESIGN.md §12): a round handed to this
+ * decorator is *committed* — under ADR it is durable the moment the
+ * "end" signal lands, regardless of when its entries physically reach
+ * the NVM cells. Retiring it later (or flushing it synchronously at
+ * power failure) is therefore indistinguishable from the synchronous
+ * drain, as long as
+ *
+ *   (1) rounds retire in commit order (a per-round sequence number and
+ *       a FIFO queue enforce this — the ADR round-ordering invariant);
+ *   (2) within a round, data entries retire strictly before PosMap
+ *       entries (the queue preserves the order AdrDomain::
+ *       takeCommittedRound produced);
+ *   (3) readers observe their own queued writes (read-your-writes: a
+ *       pending map shadows the inner device until retirement); and
+ *   (4) any *direct* write (outside the WPQ bracket: shadow regions,
+ *       recovery rewrites) orders after every queued round
+ *       (writeBytes flushes the queue first).
+ *
+ * Retirement uses writeBytesQuiet, so the background thread never
+ * touches the (single-threaded) fault injector: committed-round writes
+ * are not enumerable crash points — a crash mid-retirement is
+ * equivalent to a crash just before it, and both are recovered by the
+ * power-failure flush.
+ *
+ * Because no crash point is enumerable *inside* a quiet retirement, the
+ * intermediate device states it passes through are unobservable, and
+ * the retirer is free to optimize the committed backlog the way a
+ * hardware WPQ does:
+ *
+ *   - *Write coalescing*: an entry whose address was re-queued by a
+ *     newer committed round is stale — its cells are about to be
+ *     overwritten, readers already see the newer pending value, and a
+ *     crash flushes the newer round too. Stale entries are skipped
+ *     (wear savings the paper attributes to the WPQ absorbing
+ *     rewrites; hot top-of-tree buckets benefit most).
+ *   - *Write combining*: surviving entries at adjacent addresses (the
+ *     slots of one bucket are contiguous) merge into one device
+ *     transaction, amortizing the per-write bookkeeping.
+ *   - *Batch retirement*: the retire thread sleeps until half the
+ *     queue capacity has accumulated (or a flush / shutdown forces its
+ *     hand), then swaps the entire backlog at once. Deep batches are
+ *     what make the stale-skip pay off — a round's top-of-tree entries
+ *     are re-queued within the next few rounds, so most of them only
+ *     become skippable once many rounds retire together.
+ */
+
+#ifndef PSORAM_NVM_WRITE_BEHIND_HH
+#define PSORAM_NVM_WRITE_BEHIND_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/backend.hh"
+#include "nvm/wpq.hh"
+
+namespace psoram {
+
+class WriteBehindNvm : public MemoryBackend
+{
+  public:
+    /**
+     * @param inner the real device; must outlive this decorator
+     * @param max_queued_rounds backpressure bound: submitRound blocks
+     *        once this many rounds are waiting to retire
+     */
+    WriteBehindNvm(MemoryBackend &inner, std::size_t max_queued_rounds);
+
+    /** Flushes the queue and joins the retire thread. */
+    ~WriteBehindNvm() override;
+
+    /**
+     * Hand a committed round to the retire thread (drive thread only).
+     * Entries must already be in persist order (data before PosMap).
+     * Blocks while the queue is at max_queued_rounds.
+     */
+    void submitRound(std::vector<WpqEntry> entries);
+
+    /** Block until every queued round has reached the inner device. */
+    void flushQueued();
+
+    /**
+     * Functional reads see pending rounds (read-your-writes); reads of
+     * addresses with no pending entry go to the inner device under a
+     * shared lock, so they run concurrently with other readers.
+     */
+    void readBytes(Addr addr, std::uint8_t *out,
+                   std::size_t len) const override;
+
+    /**
+     * Direct (non-WPQ) write: flushes every queued round first so the
+     * inner device applies writes in program order, then writes through.
+     */
+    void writeBytes(Addr addr, const std::uint8_t *in,
+                    std::size_t len) override;
+    void writeBytesQuiet(Addr addr, const std::uint8_t *in,
+                         std::size_t len) override;
+
+    /** @{ Timing model: forwarded unlocked (drive thread only). */
+    Cycle access(Addr addr, std::size_t len, bool is_write,
+                 Cycle earliest) override;
+    Cycle accessOne(Addr addr, bool is_write, Cycle earliest) override;
+    /** @} */
+
+    std::uint64_t capacity() const override;
+    std::uint64_t totalReads() const override;
+    std::uint64_t totalWrites() const override;
+    std::uint64_t distinctLinesWritten() const override;
+    std::uint64_t maxLineWrites() const override;
+    double meanLineWrites() const override;
+    void resetStats() override;
+
+    /** Image of the *durable* state: flushes queued rounds first. */
+    MemoryImage image() const override;
+    void restoreImage(const MemoryImage &img) override;
+
+    /** Rounds retired by the background thread so far. */
+    std::uint64_t roundsRetired() const;
+
+    /** Stale entries skipped because a newer round re-queued them. */
+    std::uint64_t writesCoalesced() const;
+
+    /** Inner-device transactions issued by the retirer (post-merge). */
+    std::uint64_t retireTransactions() const;
+
+    MemoryBackend &inner() { return inner_; }
+
+  private:
+    /**
+     * The newest queued value for an address. Points into the owning
+     * Round's entry vector instead of copying the payload: rounds are
+     * only destroyed after their surviving pending references are
+     * erased (retireBatch does both under one lock hold), so the
+     * pointer never dangles.
+     */
+    struct PendingWrite
+    {
+        const WpqEntry *entry;
+        std::uint64_t seq; // round that queued this value
+    };
+
+    struct Round
+    {
+        std::vector<WpqEntry> entries;
+        std::uint64_t seq;
+    };
+
+    void retireLoop();
+    void retireBatch(std::deque<Round> &batch);
+    void flushQueuedLocked(std::unique_lock<std::mutex> &lock);
+
+    MemoryBackend &inner_;
+    const std::size_t max_queued_rounds_;
+
+    /**
+     * queue_mutex_ guards the round queue, the pending map and the
+     * counters below; device_mutex_ serializes writers against readers
+     * of the inner device (readers share it). Lock order when both are
+     * held: queue_mutex_ is never held across an inner-device
+     * operation — the retire loop drops it while writing.
+     */
+    mutable std::mutex queue_mutex_;
+    std::condition_variable rounds_cv_; // retire thread wakeup
+    std::condition_variable space_cv_;  // submit/flush wakeup
+    mutable std::shared_mutex device_mutex_;
+
+    std::deque<Round> queue_;
+    /** Exact-address pending values (protocol reads/writes align). */
+    std::unordered_map<Addr, PendingWrite> pending_;
+    bool retiring_ = false; // a batch is being applied right now
+    bool stop_ = false;
+    /** Retire wakes only once this many rounds queue up (or on flush /
+     *  shutdown): deep batches are what make the stale-skip coalescing
+     *  bite — the top-of-tree buckets a round rewrites are re-queued
+     *  within the next few rounds, so a shallow batch retires them all
+     *  while a deep one skips most of them. */
+    std::size_t wake_threshold_;
+    unsigned flush_waiters_ = 0;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t rounds_retired_ = 0;
+    std::uint64_t writes_coalesced_ = 0;
+    std::uint64_t retire_transactions_ = 0;
+
+    std::thread retire_thread_;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_NVM_WRITE_BEHIND_HH

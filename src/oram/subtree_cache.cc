@@ -1,0 +1,166 @@
+#include "oram/subtree_cache.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace psoram {
+
+SubtreeCache::SubtreeCache(unsigned bucket_slots, Config config)
+    : bucket_slots_(bucket_slots), config_(config)
+{
+    if (config_.stripes == 0)
+        config_.stripes = 1;
+    stripes_ = std::vector<Stripe>(config_.stripes);
+    per_stripe_capacity_ = config_.capacity_buckets == 0
+        ? 0
+        : std::max<std::size_t>(1, config_.capacity_buckets /
+                                       config_.stripes);
+}
+
+SubtreeCache::Stripe &
+SubtreeCache::stripeFor(BucketId bucket)
+{
+    // Bucket ids are dense (level-order tree indices); mix the bits so
+    // neighbouring path levels spread over different stripes.
+    const std::uint64_t h = bucket * 0x9e3779b97f4a7c15ULL;
+    return stripes_[(h >> 32) % stripes_.size()];
+}
+
+const SubtreeCache::Stripe &
+SubtreeCache::stripeFor(BucketId bucket) const
+{
+    const std::uint64_t h = bucket * 0x9e3779b97f4a7c15ULL;
+    return stripes_[(h >> 32) % stripes_.size()];
+}
+
+void
+SubtreeCache::touch(Stripe &stripe, Entry &entry)
+{
+    stripe.lru.splice(stripe.lru.end(), stripe.lru, entry.lru_pos);
+}
+
+void
+SubtreeCache::pinFill(BucketId bucket, const FillFn &fill)
+{
+    Stripe &stripe = stripeFor(bucket);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto [it, inserted] = stripe.buckets.try_emplace(bucket);
+    Entry &entry = it->second;
+    if (inserted) {
+        ++misses_;
+        entry.lru_pos = stripe.lru.insert(stripe.lru.end(), bucket);
+        entry.slots.assign(bucket_slots_, PlainBlock::dummy());
+        fill(bucket, entry.slots);
+    } else {
+        ++hits_;
+        touch(stripe, entry);
+    }
+    ++entry.pins;
+    if (inserted)
+        enforceCapacity(stripe);
+}
+
+void
+SubtreeCache::unpin(BucketId bucket)
+{
+    Stripe &stripe = stripeFor(bucket);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.buckets.find(bucket);
+    if (it == stripe.buckets.end() || it->second.pins == 0)
+        PSORAM_PANIC("subtree cache: unpin of unpinned bucket ", bucket);
+    --it->second.pins;
+}
+
+bool
+SubtreeCache::read(BucketId bucket, std::vector<PlainBlock> &out) const
+{
+    const Stripe &stripe = stripeFor(bucket);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.buckets.find(bucket);
+    if (it == stripe.buckets.end())
+        return false;
+    out = it->second.slots;
+    return true;
+}
+
+void
+SubtreeCache::update(BucketId bucket, const std::vector<PlainBlock> &slots)
+{
+    Stripe &stripe = stripeFor(bucket);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto [it, inserted] = stripe.buckets.try_emplace(bucket);
+    Entry &entry = it->second;
+    entry.slots = slots;
+    if (inserted)
+        entry.lru_pos = stripe.lru.insert(stripe.lru.end(), bucket);
+    else
+        touch(stripe, entry);
+    if (inserted)
+        enforceCapacity(stripe);
+}
+
+void
+SubtreeCache::enforceCapacity(Stripe &stripe)
+{
+    if (per_stripe_capacity_ == 0)
+        return;
+    while (stripe.buckets.size() > per_stripe_capacity_) {
+        // Coldest unpinned entry: scan from the cold end of the LRU
+        // list. Pinned entries are rare (≤ pipeline_depth paths) and
+        // recently touched, so the front is almost always evictable —
+        // O(1) amortized, where a full victim scan per insert melts
+        // down at large capacities.
+        auto pos = stripe.lru.begin();
+        while (pos != stripe.lru.end() &&
+               stripe.buckets.at(*pos).pins != 0)
+            ++pos;
+        if (pos == stripe.lru.end())
+            return; // everything pinned; allow temporary overshoot
+        stripe.buckets.erase(*pos);
+        stripe.lru.erase(pos);
+        ++evictions_;
+    }
+}
+
+void
+SubtreeCache::clear()
+{
+    for (Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (auto it = stripe.buckets.begin();
+             it != stripe.buckets.end();) {
+            if (it->second.pins == 0) {
+                stripe.lru.erase(it->second.lru_pos);
+                it = stripe.buckets.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+std::size_t
+SubtreeCache::residentBuckets() const
+{
+    std::size_t total = 0;
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        total += stripe.buckets.size();
+    }
+    return total;
+}
+
+std::uint64_t
+SubtreeCache::totalPins() const
+{
+    std::uint64_t total = 0;
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        for (const auto &[bucket, entry] : stripe.buckets)
+            total += entry.pins;
+    }
+    return total;
+}
+
+} // namespace psoram

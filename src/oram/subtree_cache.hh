@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SubtreeCache: decrypted path buckets under fine-grained locking, the
+ * shared state that lets access N+1's path fetch overlap access N's
+ * write-back in the pipelined engine.
+ *
+ * The cache maps BucketId -> the bucket's decoded slots. Buckets are
+ * striped over independent mutexes (per-bucket locking collapsed to a
+ * fixed stripe count), so concurrent fetch threads filling disjoint
+ * buckets rarely contend. A fetch *pins* every bucket of its path;
+ * pinned buckets are immune to capacity eviction until the access that
+ * pinned them retires (stage 3 unpins). The evictor *updates* buckets
+ * it rewrites, so the stage-3 integration of a later in-flight access
+ * always reads post-eviction contents — the cache, not the raw device,
+ * is the coherence point between overlapped accesses.
+ *
+ * Locking discipline (DESIGN.md §12): a stripe mutex is a leaf lock —
+ * no other lock is ever acquired while one is held, except the backing
+ * device's shared read lock inside a fill callback (device_mutex is
+ * also a leaf; the two nest in one fixed order: stripe then device).
+ */
+
+#ifndef PSORAM_ORAM_SUBTREE_CACHE_HH
+#define PSORAM_ORAM_SUBTREE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/block.hh"
+
+namespace psoram {
+
+class SubtreeCache
+{
+  public:
+    struct Config
+    {
+        /** Capacity in buckets across all stripes (0 = unbounded). */
+        std::size_t capacity_buckets = 4096;
+        unsigned stripes = 16;
+    };
+
+    /** Fills a missing bucket's slots (device read + decode). */
+    using FillFn =
+        std::function<void(BucketId, std::vector<PlainBlock> &)>;
+
+    explicit SubtreeCache(unsigned bucket_slots)
+        : SubtreeCache(bucket_slots, Config())
+    {
+    }
+    SubtreeCache(unsigned bucket_slots, Config config);
+
+    /**
+     * Ensure @p bucket is resident and pin it. On a miss the @p fill
+     * callback populates the slots under the stripe lock (concurrent
+     * fills of the same bucket collapse to one). Every pinFill must be
+     * balanced by an unpin once the access retires.
+     */
+    void pinFill(BucketId bucket, const FillFn &fill);
+
+    void unpin(BucketId bucket);
+
+    /**
+     * Copy a resident bucket's slots into @p out.
+     * @return false if the bucket is not resident (caller refills)
+     */
+    bool read(BucketId bucket, std::vector<PlainBlock> &out) const;
+
+    /**
+     * Upsert a bucket's post-eviction contents. Preserves the pin
+     * count of a resident entry; an absent bucket is inserted unpinned
+     * (the durable copy is identical, so losing it to capacity
+     * eviction is safe).
+     */
+    void update(BucketId bucket, const std::vector<PlainBlock> &slots);
+
+    /** Drop every unpinned bucket (recovery / reset). */
+    void clear();
+
+    unsigned bucketSlots() const { return bucket_slots_; }
+
+    /** @{ Effectiveness counters (thread-safe). */
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    /** @} */
+
+    /** Resident buckets across all stripes (test observability). */
+    std::size_t residentBuckets() const;
+
+    /** Sum of pin counts across all stripes (leak detection). */
+    std::uint64_t totalPins() const;
+
+  private:
+    struct Entry
+    {
+        std::vector<PlainBlock> slots;
+        std::uint32_t pins = 0;
+        /** Position in the stripe's LRU list (front = coldest). */
+        std::list<BucketId>::iterator lru_pos;
+    };
+
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<BucketId, Entry> buckets;
+        /** Recency order, front = least recently used. Kept in sync
+         *  with `buckets` so eviction is O(1) amortized — a linear
+         *  victim scan per insert melts down at large capacities. */
+        std::list<BucketId> lru;
+    };
+
+    Stripe &stripeFor(BucketId bucket);
+    const Stripe &stripeFor(BucketId bucket) const;
+
+    /** Move @p entry to the hot end of the stripe's LRU list. */
+    static void touch(Stripe &stripe, Entry &entry);
+
+    /** Evict LRU unpinned entries while the stripe is over budget. */
+    void enforceCapacity(Stripe &stripe);
+
+    unsigned bucket_slots_;
+    Config config_;
+    std::size_t per_stripe_capacity_; // 0 = unbounded
+    std::vector<Stripe> stripes_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace psoram
+
+#endif // PSORAM_ORAM_SUBTREE_CACHE_HH

@@ -64,7 +64,16 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
         if (hook)
             hook(CrashSite::AfterCommit);
 
-        done = adr_.drain(device, done);
+        if (sink_) {
+            // Deamortized drain: the committed round is durable the
+            // moment "end" landed (ADR); hand it to the background
+            // retirer and return without paying the drain latency.
+            // The modeled hardware deamortizes the same way — the WPQ
+            // writes back on its own, off the access's critical path.
+            sink_(adr_.takeCommittedRound());
+        } else {
+            done = adr_.drain(device, done);
+        }
         data_committed = data_idx;
         (void)data_committed;
         entries_ += in_round;

@@ -54,6 +54,14 @@ struct EvictionBundle
 /** Hook invoked between rounds / around commit, for crash injection. */
 using DrainCrashHook = std::function<void(CrashSite)>;
 
+/**
+ * Consumer of committed rounds for asynchronous retirement. When set,
+ * persist() hands each committed round's entries (data before PosMap)
+ * to the sink instead of draining them synchronously; the sink owns
+ * getting them to the device in submission order (WriteBehindNvm).
+ */
+using RoundSink = std::function<void(std::vector<WpqEntry> &&)>;
+
 class Drainer
 {
   public:
@@ -77,12 +85,21 @@ class Drainer
     AdrDomain &domain() { return adr_; }
     const AdrDomain &domain() const { return adr_; }
 
+    /**
+     * Route committed rounds to @p sink (deamortized drain) instead of
+     * draining them inline. Pass an empty function to restore the
+     * synchronous drain.
+     */
+    void setRoundSink(RoundSink sink) { sink_ = std::move(sink); }
+    bool asyncDrain() const { return static_cast<bool>(sink_); }
+
     std::uint64_t roundsIssued() const { return rounds_.value(); }
     std::uint64_t entriesPersisted() const { return entries_.value(); }
     std::uint64_t splitEvictions() const { return splits_.value(); }
 
   private:
     AdrDomain adr_;
+    RoundSink sink_;
     Counter rounds_;
     Counter entries_;
     Counter splits_;

@@ -1,8 +1,10 @@
 #include "psoram/path_loader.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "oram/controller.hh"
+#include "oram/subtree_cache.hh"
 
 namespace psoram {
 
@@ -121,6 +123,79 @@ PathLoader::run(AccessContext &ctx)
         // fill phase serializes against the path transfer (the single
         // controller port), which is what makes the FullNVM designs
         // pay close to one extra NVM pass per access (§5.2.1 a).
+        Cycle onchip_done = proc;
+        for (unsigned i = 0; i < total; ++i)
+            onchip_done = std::max(onchip_done, env_.onChipWrite(proc));
+        proc = onchip_done;
+    }
+    ctx.t = proc + kAesLatencyCpuCycles / kCpuCyclesPerNvmCycle;
+}
+
+void
+PathLoader::fetch(const AccessContext &ctx, SubtreeCache &cache) const
+{
+    const TreeGeometry &geo = env_.geo;
+    for (unsigned level = 0; level <= geo.height; ++level) {
+        const BucketId bucket = geo.bucketAt(ctx.leaf, level);
+        cache.pinFill(bucket, [this](BucketId b,
+                                     std::vector<PlainBlock> &slots) {
+            for (unsigned s = 0;
+                 s < static_cast<unsigned>(slots.size()); ++s) {
+                const Addr slot_addr =
+                    env_.params.data_layout.slotAddr(b, s);
+                SlotBytes raw{};
+                env_.device.readBytes(slot_addr, raw.data(),
+                                      kSlotBytes);
+                slots[s] = env_.codec.decode(raw);
+            }
+        });
+    }
+}
+
+void
+PathLoader::integrate(AccessContext &ctx, SubtreeCache &cache)
+{
+    const TreeGeometry &geo = env_.geo;
+    const unsigned total = geo.blocksPerPath();
+    const Cycle start = ctx.t;
+    ctx.slots.reserve(total);
+    Cycle proc = start;
+    unsigned count = 0;
+    std::vector<PlainBlock> blocks;
+
+    for (unsigned level = 0; level <= geo.height; ++level) {
+        const BucketId bucket = geo.bucketAt(ctx.leaf, level);
+        if (!cache.read(bucket, blocks)) {
+            // Pinned buckets cannot be capacity-evicted; refill
+            // defensively anyway so a cache bug degrades to a reload
+            // instead of corrupting the protocol.
+            blocks.assign(geo.bucket_slots, PlainBlock::dummy());
+            for (unsigned s = 0; s < geo.bucket_slots; ++s) {
+                const Addr slot_addr =
+                    env_.params.data_layout.slotAddr(bucket, s);
+                SlotBytes raw{};
+                env_.device.readBytes(slot_addr, raw.data(),
+                                      kSlotBytes);
+                blocks[s] = env_.codec.decode(raw);
+            }
+        }
+        for (unsigned s = 0; s < geo.bucket_slots; ++s) {
+            const Addr slot_addr =
+                env_.params.data_layout.slotAddr(bucket, s);
+            const Cycle rd = env_.device.accessOne(slot_addr, false,
+                                                   start);
+            proc = std::max(rd, proc) +
+                   env_.params.controller_block_cycles;
+
+            LoadedSlot slot_info{level, s, kDummyBlockAddr, false};
+            classify(blocks[s], ctx.addr, ctx.leaf, slot_info);
+            ctx.slots.push_back(slot_info);
+
+            if (++count == total / 2)
+                env_.crashCheck(CrashSite::DuringLoad);
+        }
+    }
+    if (env_.onchip) {
         Cycle onchip_done = proc;
         for (unsigned i = 0; i < total; ++i)
             onchip_done = std::max(onchip_done, env_.onChipWrite(proc));

@@ -42,6 +42,7 @@ ShardedOramEngine::ShardedOramEngine(
     // Workers hand completions to the drain thread; the inner engines
     // must not also retain them.
     inner.record_completions = false;
+    inner.pipeline_depth = config_.pipeline_depth;
     workers_.reserve(controllers.size());
     for (unsigned k = 0; k < controllers.size(); ++k) {
         auto worker = std::make_unique<Worker>();
@@ -71,6 +72,7 @@ ShardedOramEngine::~ShardedOramEngine()
             worker->stop = true;
         }
         worker->cv.notify_all();
+        worker->space_cv.notify_all();
     }
     for (auto &worker : workers_)
         worker->thread.join();
@@ -105,7 +107,14 @@ ShardedOramEngine::submit(BlockAddr addr, bool is_write,
     Worker &worker = *workers_[slot.shard];
     bool was_empty;
     {
-        std::lock_guard<std::mutex> lock(worker.mutex);
+        std::unique_lock<std::mutex> lock(worker.mutex);
+        // Submit-side backpressure: block until the worker has swapped
+        // the mailbox below the bound (or is shutting down), so an
+        // open-loop producer cannot grow it without limit.
+        worker.space_cv.wait(lock, [&] {
+            return worker.stop ||
+                   worker.mailbox.size() < config_.max_mailbox;
+        });
         was_empty = worker.mailbox.empty();
         worker.mailbox.push_back(std::move(request));
     }
@@ -141,16 +150,6 @@ ShardedOramEngine::workerLoop(Worker &worker)
         std::deque<Request> batch;
         {
             std::unique_lock<std::mutex> lock(worker.mutex);
-            if (worker.mailbox.empty() && !worker.stop) {
-                // One scheduler yield before sleeping: a submitter in
-                // mid-burst gets to refill the mailbox, so the worker
-                // picks up whole batches instead of paying a cv
-                // wake-up per request (this matters most when workers
-                // outnumber cores).
-                lock.unlock();
-                std::this_thread::yield();
-                lock.lock();
-            }
             worker.cv.wait(lock, [&] {
                 return worker.stop || !worker.mailbox.empty();
             });
@@ -158,6 +157,9 @@ ShardedOramEngine::workerLoop(Worker &worker)
                 return;
             batch.swap(worker.mailbox);
         }
+        // The swap freed the whole mailbox; wake submitters parked on
+        // the max_mailbox bound.
+        worker.space_cv.notify_all();
         // Feed the whole batch into the shard engine so back-to-back
         // same-block requests coalesce exactly as in the single-shard
         // stack, then run it to completion. Only this thread touches
@@ -234,7 +236,11 @@ ShardedOramEngine::drainLoop()
 {
     obs::TraceRecorder::setThreadName("completions.drain");
     for (;;) {
-        Delivery delivery;
+        // Swap the whole queue per wakeup (condition-variable wait, no
+        // spinning): a burst of completions costs one wakeup, one
+        // records_ lock and one idle update instead of one of each per
+        // completion.
+        std::deque<Delivery> batch;
         {
             std::unique_lock<std::mutex> lock(completion_mutex_);
             completion_cv_.wait(lock, [&] {
@@ -242,18 +248,19 @@ ShardedOramEngine::drainLoop()
             });
             if (completion_queue_.empty() && completion_stop_)
                 return;
-            delivery = std::move(completion_queue_.front());
-            completion_queue_.pop_front();
+            batch.swap(completion_queue_);
         }
-        if (delivery.callback)
-            delivery.callback(delivery.completion);
+        for (Delivery &delivery : batch)
+            if (delivery.callback)
+                delivery.callback(delivery.completion);
         if (config_.record_completions) {
             std::lock_guard<std::mutex> lock(records_mutex_);
-            records_.push_back(std::move(delivery.completion));
+            for (Delivery &delivery : batch)
+                records_.push_back(std::move(delivery.completion));
         }
         {
             std::lock_guard<std::mutex> lock(idle_mutex_);
-            ++completed_;
+            completed_ += batch.size();
         }
         idle_cv_.notify_all();
     }

@@ -55,6 +55,14 @@ struct ShardedEngineConfig
     /** Keep completion records for takeCompletions(); benches turn
      *  this off so multi-million-request runs stay bounded. */
     bool record_completions = true;
+    /** Per-shard in-flight access window, forwarded to each shard's
+     *  OramEngine (0 follows the shard controller's pipeline params;
+     *  see EngineConfig::pipeline_depth). */
+    unsigned pipeline_depth = 0;
+    /** Submit-side backpressure: a submit to a shard whose mailbox
+     *  holds this many requests blocks until the worker drains it
+     *  below the bound. */
+    std::size_t max_mailbox = 1 << 16;
 };
 
 class ShardedOramEngine
@@ -168,6 +176,9 @@ class ShardedOramEngine
         std::unique_ptr<OramEngine> engine;
         std::mutex mutex;
         std::condition_variable cv;
+        /** Signals mailbox space to submitters blocked on the
+         *  max_mailbox bound. */
+        std::condition_variable space_cv;
         std::deque<Request> mailbox;
         bool stop = false;
         std::thread thread;

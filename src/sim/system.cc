@@ -33,6 +33,12 @@ systemParams(const SystemConfig &config)
     params.stash_capacity = config.stash_capacity;
     params.cipher = config.cipher;
     params.seed = config.seed;
+    params.pipeline.depth = config.pipeline_depth;
+    params.pipeline.fetch_threads = config.fetch_threads;
+    if (config.cache_buckets != 0)
+        params.pipeline.cache_buckets = config.cache_buckets;
+    if (config.retire_queue_rounds != 0)
+        params.pipeline.retire_queue_rounds = config.retire_queue_rounds;
 
     params.design = designOptions(config.design);
     params.design.wpq_entries = config.wpq_entries;

@@ -44,6 +44,21 @@ struct SystemConfig
     std::uint64_t seed = 1;
 
     /**
+     * Intra-shard pipelining (DESIGN.md §12): > 1 builds the controller
+     * with the subtree cache + write-behind retire queue so an
+     * OramEngine can keep this many accesses in flight. 1 (default)
+     * builds none of the pipeline machinery — traffic is byte-identical
+     * to the synchronous engine.
+     */
+    unsigned pipeline_depth = 1;
+    /** Fetch-pool threads per shard when pipeline_depth > 1. */
+    unsigned fetch_threads = 2;
+    /** SubtreeCache capacity override; 0 keeps PipelineParams' default. */
+    std::size_t cache_buckets = 0;
+    /** Retire-queue depth override; 0 keeps PipelineParams' default. */
+    std::size_t retire_queue_rounds = 0;
+
+    /**
      * Fault-injection negative control: suppress §4.2.2 backup blocks
      * while keeping the rest of the persistence machinery. The crash
      * enumerator must detect the resulting data loss — a build where it

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Pipelined engine tests (DESIGN.md §12): depth-1 identity, seeded
+ * deterministic replay, value equivalence against the synchronous
+ * engine, conflicting-path (same-leaf) ordering, and exhaustive crash
+ * enumeration with pipeline_depth > 1 on unsharded and 1/2/4-shard
+ * file-backed configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "nvm/fault_injector.hh"
+#include "sim/crash_enumerator.hh"
+#include "sim/engine.hh"
+#include "sim/recovery_invariants.hh"
+#include "sim/sharded_engine.hh"
+#include "sim/sharded_system.hh"
+#include "sim/system.hh"
+
+namespace psoram {
+namespace {
+
+SystemConfig
+pipelineConfig(unsigned depth)
+{
+    SystemConfig config;
+    config.design = DesignKind::PsOram;
+    config.tree_height = 6;
+    config.num_blocks = 120;
+    config.stash_capacity = 64;
+    config.seed = 17;
+    config.pipeline_depth = depth;
+    return config;
+}
+
+std::array<std::uint8_t, kBlockDataBytes>
+pattern(std::uint8_t tag)
+{
+    std::array<std::uint8_t, kBlockDataBytes> data{};
+    data.fill(tag);
+    return data;
+}
+
+/** Deterministic request mix; returns each read's observed data. */
+std::vector<std::array<std::uint8_t, kBlockDataBytes>>
+runMix(OramEngine &engine, std::uint64_t seed, std::size_t ops,
+       std::uint64_t num_blocks)
+{
+    Rng rng(seed);
+    std::vector<std::array<std::uint8_t, kBlockDataBytes>> reads;
+    for (std::size_t op = 0; op < ops; ++op) {
+        const BlockAddr addr = rng.nextBelow(num_blocks);
+        if (rng.nextBool(0.5)) {
+            const auto data =
+                pattern(static_cast<std::uint8_t>(rng.nextBelow(256)));
+            engine.submitWrite(addr, data.data());
+        } else {
+            engine.submitRead(
+                addr, [&reads](const OramEngine::Completion &c) {
+                    reads.push_back(c.data);
+                });
+        }
+    }
+    engine.drain();
+    return reads;
+}
+
+TEST(Pipeline, DepthOneBuildsNoPipelineMachinery)
+{
+    System system = buildSystem(pipelineConfig(1));
+    EXPECT_FALSE(system.controller->pipelineSupported());
+    EXPECT_EQ(system.controller->subtreeCache(), nullptr);
+    EXPECT_EQ(system.controller->writeBehind(), nullptr);
+    OramEngine engine(*system.controller);
+    EXPECT_EQ(engine.pipelineDepth(), 1u);
+}
+
+TEST(Pipeline, DepthFourResolvesWhenSupported)
+{
+    System system = buildSystem(pipelineConfig(4));
+    EXPECT_TRUE(system.controller->pipelineSupported());
+    ASSERT_NE(system.controller->subtreeCache(), nullptr);
+    ASSERT_NE(system.controller->writeBehind(), nullptr);
+    OramEngine engine(*system.controller);
+    EXPECT_EQ(engine.pipelineDepth(), 4u);
+}
+
+/** Non-pipelined designs clamp to the synchronous engine even when a
+ *  depth is configured (recursive shadow-snapshots and the eager
+ *  non-persistent PosMap both preclude in-flight remaps). */
+TEST(Pipeline, UnsupportedDesignsStaySynchronous)
+{
+    SystemConfig config = pipelineConfig(4);
+    config.design = DesignKind::RcrPsOram;
+    System system = buildSystem(config);
+    EXPECT_FALSE(system.controller->pipelineSupported());
+    OramEngine engine(*system.controller);
+    EXPECT_EQ(engine.pipelineDepth(), 1u);
+}
+
+TEST(Pipeline, DeterministicReplay)
+{
+    // Same seed + same depth => identical read results and identical
+    // engine stats, run-to-run: every RNG draw happens at stageBegin on
+    // the drive thread in ticket order, so fetch-thread scheduling
+    // cannot perturb the protocol.
+    std::vector<std::array<std::uint8_t, kBlockDataBytes>> first;
+    std::uint64_t first_physical = 0;
+    {
+        System system = buildSystem(pipelineConfig(4));
+        OramEngine engine(*system.controller);
+        first = runMix(engine, 99, 400, 120);
+        first_physical = engine.stats().physical_accesses.value();
+    }
+    for (int replay = 0; replay < 2; ++replay) {
+        System system = buildSystem(pipelineConfig(4));
+        OramEngine engine(*system.controller);
+        const auto reads = runMix(engine, 99, 400, 120);
+        EXPECT_EQ(reads, first);
+        EXPECT_EQ(engine.stats().physical_accesses.value(),
+                  first_physical);
+    }
+}
+
+TEST(Pipeline, MatchesSynchronousValues)
+{
+    // Depth 4 is not traffic-identical to depth 1 (legal divergence:
+    // in-flight accesses change stash-hit patterns), but every read
+    // must observe exactly the values the synchronous engine produces.
+    System sync_system = buildSystem(pipelineConfig(1));
+    OramEngine sync_engine(*sync_system.controller);
+    const auto sync_reads = runMix(sync_engine, 1234, 500, 120);
+
+    System piped_system = buildSystem(pipelineConfig(4));
+    OramEngine piped_engine(*piped_system.controller);
+    const auto piped_reads = runMix(piped_engine, 1234, 500, 120);
+
+    EXPECT_EQ(piped_reads, sync_reads);
+}
+
+TEST(Pipeline, ConflictingPathOrdering)
+{
+    // Hammer a handful of addresses (ensuring same-leaf, same-path
+    // conflicts and plenty of conflict-defer hits): every read must
+    // observe the latest preceding write in submit order, and
+    // completions must arrive in submit order.
+    System system = buildSystem(pipelineConfig(4));
+    OramEngine engine(*system.controller);
+
+    std::map<BlockAddr, std::uint8_t> shadow;
+    std::vector<OramEngine::RequestId> completion_order;
+    Rng rng(7);
+    std::uint8_t next_tag = 1;
+    for (std::size_t op = 0; op < 600; ++op) {
+        const BlockAddr addr = rng.nextBelow(5); // 5 hot addresses
+        if (rng.nextBool(0.5)) {
+            const std::uint8_t tag = next_tag++;
+            shadow[addr] = tag;
+            const auto data = pattern(tag);
+            engine.submitWrite(
+                addr, data.data(),
+                [&completion_order](const OramEngine::Completion &c) {
+                    completion_order.push_back(c.id);
+                });
+        } else {
+            const std::uint8_t expect_tag =
+                shadow.count(addr) ? shadow[addr] : 0;
+            engine.submitRead(
+                addr,
+                [&completion_order,
+                 expect_tag](const OramEngine::Completion &c) {
+                    completion_order.push_back(c.id);
+                    EXPECT_EQ(c.data[0], expect_tag);
+                });
+        }
+    }
+    engine.drain();
+
+    ASSERT_EQ(completion_order.size(), 600u);
+    for (std::size_t i = 1; i < completion_order.size(); ++i)
+        EXPECT_LT(completion_order[i - 1], completion_order[i]);
+
+    // Balanced pins: every staged access released its path.
+    ASSERT_NE(system.controller->subtreeCache(), nullptr);
+    EXPECT_EQ(system.controller->subtreeCache()->totalPins(), 0u);
+}
+
+TEST(Pipeline, ExhaustiveCrashEnumerationDepthTwo)
+{
+    // Every persist boundary of a small pipelined trace: crash,
+    // recover, check invariants, then verify the recovered ORAM works.
+    CrashEnumConfig config;
+    config.system = pipelineConfig(2);
+    config.system.tree_height = 4;
+    config.system.num_blocks = 40;
+    config.system.wpq_entries = 8;
+    config.system.temp_posmap_entries = 16;
+    config.trace = makeCrashTrace(5, 24, config.system.num_blocks);
+    config.post_recovery_ops = 32;
+    const CrashEnumSummary summary = enumerateCrashPoints(config);
+    EXPECT_GT(summary.total_boundaries, 0u);
+    for (const CrashPointFailure &f : summary.failures)
+        for (const std::string &v : f.violations)
+            ADD_FAILURE() << v;
+    EXPECT_TRUE(summary.ok()) << summary.describe();
+}
+
+/** Sharded pipelined crash: fault one shard at a fixed boundary while
+ *  per-shard engines keep depth-4 windows in flight over file-backed
+ *  devices, recover the victim, and check every shard. */
+void
+shardedPipelinedCrash(unsigned num_shards)
+{
+    const std::string backing =
+        "pipeline_crash_" + std::to_string(num_shards) + ".img";
+    ShardedSystemConfig config;
+    config.base = pipelineConfig(4);
+    config.base.tree_height = 5;
+    config.base.num_blocks = 80;
+    config.base.wpq_entries = 8;
+    config.base.backing_file = backing;
+    config.sharding.num_shards = num_shards;
+    const auto scrub = [&] {
+        std::remove(backing.c_str());
+        std::remove((backing + ".tmp").c_str());
+        for (unsigned s = 0; s < num_shards; ++s) {
+            const std::string f = backing + ".shard" + std::to_string(s);
+            std::remove(f.c_str());
+            std::remove((f + ".tmp").c_str());
+        }
+    };
+    scrub();
+
+    ShardedSystem sharded = buildShardedSystem(config);
+    std::vector<RecoveryOracle> oracles(sharded.numShards());
+    for (unsigned s = 0; s < sharded.numShards(); ++s) {
+        sharded.controller(s).setCommitObserver(oracles[s].observer());
+        sharded.shards[s].setRebindHook(
+            [&oracles, s](PsOramController &ctrl) {
+                ctrl.setCommitObserver(oracles[s].observer());
+            });
+    }
+
+    const unsigned victim = num_shards / 2;
+    FaultInjector injector;
+    sharded.shards[victim].attachFaultInjector(&injector);
+    injector.armAt(40);
+
+    const std::vector<TraceOp> trace =
+        makeCrashTrace(11, 96, sharded.router.totalBlocks(), 0.7);
+    bool crashed = false;
+    std::uint8_t buf[kBlockDataBytes];
+    {
+        EngineConfig engine_config;
+        engine_config.record_completions = false;
+        std::vector<std::unique_ptr<OramEngine>> engines;
+        for (unsigned s = 0; s < sharded.numShards(); ++s) {
+            ASSERT_TRUE(sharded.controller(s).pipelineSupported());
+            engines.push_back(std::make_unique<OramEngine>(
+                sharded.controller(s), engine_config));
+        }
+        try {
+            for (const TraceOp &op : trace) {
+                const ShardSlot slot = sharded.router.route(op.addr);
+                if (op.is_write) {
+                    stampPayload(slot.local, op.version, buf);
+                    oracles[slot.shard].latest[slot.local] = op.version;
+                    engines[slot.shard]->submitWrite(slot.local, buf);
+                } else {
+                    engines[slot.shard]->submitRead(slot.local);
+                }
+            }
+            for (auto &engine : engines)
+                engine->drain();
+        } catch (const InjectedFault &) {
+            crashed = true;
+        }
+    }
+    injector.disarm();
+    ASSERT_TRUE(crashed) << "armed boundary never reached";
+
+    sharded.recoverShard(victim);
+    for (unsigned s = 0; s < sharded.numShards(); ++s)
+        for (const std::string &v :
+             checkRecoveryInvariants(sharded.shards[s], oracles[s]))
+            ADD_FAILURE() << "shard " << s << ": " << v;
+
+    // The recovered stack must still serve verified traffic — again
+    // through pipelined engines.
+    {
+        EngineConfig engine_config;
+        std::vector<std::unique_ptr<OramEngine>> engines;
+        for (unsigned s = 0; s < sharded.numShards(); ++s)
+            engines.push_back(std::make_unique<OramEngine>(
+                sharded.controller(s), engine_config));
+        Rng rng(23);
+        std::map<BlockAddr, std::uint32_t> post;
+        for (std::size_t op = 0; op < 64; ++op) {
+            const BlockAddr addr =
+                rng.nextBelow(sharded.router.totalBlocks());
+            const ShardSlot slot = sharded.router.route(addr);
+            if (rng.nextBool(0.5)) {
+                const auto version =
+                    static_cast<std::uint32_t>(3'000'000 + op);
+                stampPayload(slot.local, version, buf);
+                engines[slot.shard]->submitWrite(slot.local, buf);
+                post[addr] = version;
+            } else if (post.count(addr)) {
+                const std::uint32_t expect = post[addr];
+                engines[slot.shard]->submitRead(
+                    slot.local,
+                    [expect](const OramEngine::Completion &c) {
+                        EXPECT_EQ(payloadVersion(c.data.data()),
+                                  expect);
+                    });
+            }
+        }
+        for (auto &engine : engines)
+            engine->drain();
+    }
+    scrub();
+}
+
+TEST(Pipeline, ShardedFileBackedCrashOneShard)
+{
+    shardedPipelinedCrash(1);
+}
+
+TEST(Pipeline, ShardedFileBackedCrashTwoShards)
+{
+    shardedPipelinedCrash(2);
+}
+
+TEST(Pipeline, ShardedFileBackedCrashFourShards)
+{
+    shardedPipelinedCrash(4);
+}
+
+} // namespace
+} // namespace psoram

@@ -47,6 +47,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/crash_enumerator.hh"
+#include "sim/engine.hh"
 #include "sim/recovery_invariants.hh"
 #include "sim/sharded_system.hh"
 #include "sim/system.hh"
@@ -93,6 +94,7 @@ struct TortureCase
         out << designName(system.design) << " height "
             << system.tree_height << " blocks " << system.num_blocks
             << " wpq " << system.wpq_entries << " shards " << num_shards
+            << " depth " << system.pipeline_depth
             << (system.backing_file.empty() ? "" : " file-backed")
             << " ops " << trace_ops << " wf " << write_fraction
             << " trace-seed " << trace_seed << " armed-at "
@@ -142,8 +144,18 @@ drawCase(Rng &rng, std::uint64_t iteration)
     tc.system.cipher = CipherKind::FastStream;
     tc.system.seed = mix(iteration * 3 + 1);
 
-    // Occasional file-backed image (unsharded only: one file to scrub).
-    if (tc.num_shards == 1 && rng.nextBelow(8) == 0)
+    // Intra-shard pipelining: only the paper's main design runs the
+    // staged engine (recursive/non-persistent stay synchronous, see
+    // DESIGN.md §12), so only there is a depth draw meaningful.
+    if (tc.system.design == DesignKind::PsOram) {
+        const unsigned depths[] = {1, 2, 4};
+        tc.system.pipeline_depth =
+            depths[rng.nextBelow(3)];
+    }
+
+    // Occasional file-backed image (sharded builds derive one file per
+    // shard from the base name).
+    if (rng.nextBelow(8) == 0)
         tc.system.backing_file =
             "torture_nvm_" + std::to_string(iteration) + ".img";
 
@@ -161,6 +173,12 @@ scrubBackingFiles(const TortureCase &tc)
         return;
     std::remove(tc.system.backing_file.c_str());
     std::remove((tc.system.backing_file + ".tmp").c_str());
+    for (unsigned s = 0; s < tc.num_shards; ++s) {
+        const std::string shard_file =
+            tc.system.backing_file + ".shard" + std::to_string(s);
+        std::remove(shard_file.c_str());
+        std::remove((shard_file + ".tmp").c_str());
+    }
 }
 
 /** Run counters (common/stats.hh Counters so the metrics exporter can
@@ -191,14 +209,32 @@ runUnsharded(TortureCase &tc, Rng &rng, IterationStats &stats)
         System system = buildSystem(config.system);
         FaultInjector injector;
         system.attachFaultInjector(&injector);
-        RecoveryOracle oracle;
         std::uint8_t buf[kBlockDataBytes];
-        for (const TraceOp &op : config.trace) {
-            if (op.is_write) {
-                stampPayload(op.addr, op.version, buf);
-                system.controller->write(op.addr, buf);
-            } else {
-                system.controller->read(op.addr, buf);
+        if (system.controller->pipelineSupported()) {
+            // Probe the same way the armed replay will run (the
+            // enumerator drives pipelined systems through an engine):
+            // boundary indices are only comparable within one drive
+            // mode.
+            EngineConfig engine_config;
+            engine_config.record_completions = false;
+            OramEngine engine(*system.controller, engine_config);
+            for (const TraceOp &op : config.trace) {
+                if (op.is_write) {
+                    stampPayload(op.addr, op.version, buf);
+                    engine.submitWrite(op.addr, buf);
+                } else {
+                    engine.submitRead(op.addr);
+                }
+            }
+            engine.drain();
+        } else {
+            for (const TraceOp &op : config.trace) {
+                if (op.is_write) {
+                    stampPayload(op.addr, op.version, buf);
+                    system.controller->write(op.addr, buf);
+                } else {
+                    system.controller->read(op.addr, buf);
+                }
             }
         }
         total = injector.boundariesSeen();
@@ -262,21 +298,55 @@ runSharded(TortureCase &tc, Rng &rng, IterationStats &stats)
                        sharded.router.totalBlocks(), tc.write_fraction);
     bool crashed = false;
     std::uint8_t buf[kBlockDataBytes];
-    for (const TraceOp &op : trace) {
-        const ShardSlot slot = sharded.router.route(op.addr);
+    if (sharded.controller(0).pipelineSupported()) {
+        // Pipelined shards: drive every shard through its own engine so
+        // the fault lands while fetches and background retires are
+        // genuinely in flight. latest[] is bumped at submit — a
+        // submitted-but-unretired write only widens the old-or-new
+        // window the checker accepts. Engines are scoped: they must be
+        // destroyed (fetch pools joined, retire queues idle) before the
+        // victim controller is torn down for recovery.
+        std::vector<std::unique_ptr<OramEngine>> engines;
+        EngineConfig engine_config;
+        engine_config.record_completions = false;
+        for (unsigned s = 0; s < sharded.numShards(); ++s)
+            engines.push_back(std::make_unique<OramEngine>(
+                sharded.controller(s), engine_config));
         try {
-            if (op.is_write) {
-                stampPayload(slot.local, op.version, buf);
-                sharded.controller(slot.shard).write(slot.local, buf);
-                oracles[slot.shard].latest[slot.local] = op.version;
-            } else {
-                sharded.controller(slot.shard).read(slot.local, buf);
+            for (const TraceOp &op : trace) {
+                const ShardSlot slot = sharded.router.route(op.addr);
+                if (op.is_write) {
+                    stampPayload(slot.local, op.version, buf);
+                    oracles[slot.shard].latest[slot.local] = op.version;
+                    engines[slot.shard]->submitWrite(slot.local, buf);
+                } else {
+                    engines[slot.shard]->submitRead(slot.local);
+                }
             }
+            for (auto &engine : engines)
+                engine->drain();
         } catch (const InjectedFault &) {
-            if (op.is_write)
-                oracles[slot.shard].latest[slot.local] = op.version;
             crashed = true;
-            break;
+        }
+    } else {
+        for (const TraceOp &op : trace) {
+            const ShardSlot slot = sharded.router.route(op.addr);
+            try {
+                if (op.is_write) {
+                    stampPayload(slot.local, op.version, buf);
+                    sharded.controller(slot.shard).write(slot.local,
+                                                         buf);
+                    oracles[slot.shard].latest[slot.local] = op.version;
+                } else {
+                    sharded.controller(slot.shard).read(slot.local,
+                                                        buf);
+                }
+            } catch (const InjectedFault &) {
+                if (op.is_write)
+                    oracles[slot.shard].latest[slot.local] = op.version;
+                crashed = true;
+                break;
+            }
         }
     }
     // A boundary the trace never reached must not fire later, during
