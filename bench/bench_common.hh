@@ -31,6 +31,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.hh"
@@ -52,7 +53,19 @@ namespace psoram::bench {
 class JsonReport
 {
   public:
-    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+    /** Every report self-describes the machine and build that produced
+     *  it: a single-core or Debug artifact (like an inverted depth
+     *  curve) must be explainable from the JSON alone. */
+    explicit JsonReport(std::string bench) : bench_(std::move(bench))
+    {
+#ifdef PSORAM_BUILD_TYPE
+        meta_.str("build_type", PSORAM_BUILD_TYPE);
+#else
+        meta_.str("build_type", "unknown");
+#endif
+        meta_.count("hardware_concurrency",
+                    std::thread::hardware_concurrency());
+    }
 
     /** One flat result object ("name": ... plus numeric fields). */
     class Row
@@ -280,6 +293,25 @@ parseContext(int argc, char **argv)
     if (limit > 0 && limit < ctx.workloads.size())
         ctx.workloads.resize(limit);
     return ctx;
+}
+
+/**
+ * Stamp the pipeline-relevant bits of @p config into @p report's meta:
+ * fetch-thread count and subtree-cache shape (resolved against the
+ * PipelineParams defaults), so per-machine artifacts are explainable
+ * without the command line that produced them.
+ */
+inline void
+addSystemMeta(JsonReport &report, const SystemConfig &config)
+{
+    const PipelineParams defaults;
+    report.metaCount("fetch_threads", config.fetch_threads)
+        .metaCount("cache_buckets", config.cache_buckets != 0
+                       ? config.cache_buckets
+                       : defaults.cache_buckets)
+        .metaCount("cache_stripes", config.cache_stripes != 0
+                       ? config.cache_stripes
+                       : defaults.cache_stripes);
 }
 
 /** Run one (design, workload) cell. */

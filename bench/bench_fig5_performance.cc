@@ -110,6 +110,7 @@ main(int argc, char **argv)
             .metaCount("bucket_slots", banner.bucket_slots)
             .metaCount("seed", banner.seed)
             .metaNum("host_seconds", host_seconds);
+        addSystemMeta(report, banner);
         for (const DesignKind design : designs) {
             for (std::size_t w = 0; w < ctx.workloads.size(); ++w) {
                 const WorkloadResult &r = results[design][w];

@@ -141,6 +141,7 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
                   ? "aes" : "fast")
         .metaCount("seed", banner.seed)
         .metaCount("target_accesses", target);
+    psoram::bench::addSystemMeta(report, banner);
 
     // Systems and their stat groups stay alive until the metrics
     // snapshot is written (the exporter holds non-owning pointers).
@@ -279,8 +280,8 @@ runPipelineJsonMode(const psoram::bench::BenchContext &ctx,
         .meta("cipher", banner.cipher == CipherKind::Aes128Ctr
                   ? "aes" : "fast")
         .metaCount("seed", banner.seed)
-        .metaCount("target_accesses", target)
-        .metaCount("fetch_threads", banner.fetch_threads);
+        .metaCount("target_accesses", target);
+    psoram::bench::addSystemMeta(report, banner);
 
     double depth1_rate = 0.0;
     for (const unsigned depth : depths) {
@@ -334,7 +335,12 @@ runPipelineJsonMode(const psoram::bench::BenchContext &ctx,
         if (const SubtreeCache *cache =
                 system.controller->subtreeCache()) {
             row.count("subtree_cache_hits", cache->hits())
-                .count("subtree_cache_misses", cache->misses());
+                .count("subtree_cache_misses", cache->misses())
+                .num("subtree_cache_hit_rate", cache->hitRate())
+                .count("subtree_cache_capacity",
+                       cache->config().capacity_buckets)
+                .count("subtree_cache_stripes",
+                       cache->config().stripes);
         }
         if (const WriteBehindNvm *wb = system.controller->writeBehind())
             row.count("rounds_retired", wb->roundsRetired())

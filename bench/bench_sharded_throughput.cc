@@ -162,9 +162,8 @@ main(int argc, char **argv)
               banner.cipher == CipherKind::Aes128Ctr ? "aes" : "fast")
         .metaCount("seed", banner.seed)
         .metaCount("target_accesses", target)
-        .metaCount("pipeline_depth", pipeline_depth)
-        .metaCount("host_threads",
-                   std::thread::hardware_concurrency());
+        .metaCount("pipeline_depth", pipeline_depth);
+    psoram::bench::addSystemMeta(report, banner);
 
     TextTable table({"shards", "accesses", "seconds", "accesses/sec",
                      "speedup_vs_1", "physical/access"});

@@ -163,4 +163,26 @@ SubtreeCache::totalPins() const
     return total;
 }
 
+double
+SubtreeCache::hitRate() const
+{
+    const std::uint64_t h = hits_.value();
+    const std::uint64_t m = misses_.value();
+    return h + m ? static_cast<double>(h) /
+                       static_cast<double>(h + m)
+                 : 0.0;
+}
+
+void
+SubtreeCache::registerStats(StatGroup &group,
+                            const std::string &prefix) const
+{
+    group.addCounter(prefix + "_hits", &hits_,
+                     "subtree-cache path buckets already resident");
+    group.addCounter(prefix + "_misses", &misses_,
+                     "subtree-cache fills from the device");
+    group.addCounter(prefix + "_evictions", &evictions_,
+                     "subtree-cache capacity evictions");
+}
+
 } // namespace psoram

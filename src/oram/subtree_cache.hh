@@ -23,7 +23,6 @@
 #ifndef PSORAM_ORAM_SUBTREE_CACHE_HH
 #define PSORAM_ORAM_SUBTREE_CACHE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -31,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "oram/block.hh"
 
@@ -86,10 +86,20 @@ class SubtreeCache
     unsigned bucketSlots() const { return bucket_slots_; }
 
     /** @{ Effectiveness counters (thread-safe). */
-    std::uint64_t hits() const { return hits_.load(); }
-    std::uint64_t misses() const { return misses_.load(); }
-    std::uint64_t evictions() const { return evictions_.load(); }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
     /** @} */
+
+    /** Hits / (hits + misses); 0 when the cache is untouched. */
+    double hitRate() const;
+
+    /** Register hit/miss/eviction counters as "<prefix>_*" with
+     *  @p group (metrics export; the counters outlive registration as
+     *  long as the cache does). */
+    void registerStats(StatGroup &group, const std::string &prefix) const;
+
+    const Config &config() const { return config_; }
 
     /** Resident buckets across all stripes (test observability). */
     std::size_t residentBuckets() const;
@@ -130,9 +140,11 @@ class SubtreeCache
     std::size_t per_stripe_capacity_; // 0 = unbounded
     std::vector<Stripe> stripes_;
 
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> evictions_{0};
+    /** common/stats.hh Counters (relaxed-atomic) so they register
+     *  directly with a StatGroup for the metrics exporter. */
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
 };
 
 } // namespace psoram

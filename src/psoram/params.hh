@@ -36,6 +36,9 @@ struct PipelineParams
      *  ~14 levels of a large tree resident (~9 MB at z=4), where every
      *  path's buckets concentrate. */
     std::size_t cache_buckets = 16384;
+    /** SubtreeCache lock stripes (concurrent fetch threads filling
+     *  disjoint buckets contend on 1/stripes of the locks). */
+    unsigned cache_stripes = 16;
     /** Committed WPQ rounds the background retirer may queue. A deep
      *  backlog maximizes retire-side write coalescing: the top-of-tree
      *  buckets every path rewrites are skipped as stale (see

@@ -103,7 +103,8 @@ PsOramController::PsOramController(const PsOramParams &params,
             device_, params_.pipeline.retire_queue_rounds);
         subtree_cache_ = std::make_unique<SubtreeCache>(
             geo_.bucket_slots,
-            SubtreeCache::Config{params_.pipeline.cache_buckets, 16});
+            SubtreeCache::Config{params_.pipeline.cache_buckets,
+                                 params_.pipeline.cache_stripes});
         drainer_->setRoundSink(
             [this](std::vector<WpqEntry> &&round) {
                 write_behind_->submitRound(std::move(round));
@@ -501,6 +502,8 @@ PsOramController::registerStats(StatGroup &group) const
                      "temporary-PosMap overflows forcing a merge");
     group.addCounter("unplaced_carried", &counters_.unplaced_carried,
                      "live stash residue carried across evictions");
+    if (subtree_cache_)
+        subtree_cache_->registerStats(group, "subtree_cache");
     phase_ns_.registerWith(group, "phase_ns");
     phase_cycles_.registerWith(group, "phase_cycles");
 }

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * BatchScheduler: cross-request admission in front of ShardedOramEngine.
+ *
+ * The per-shard OramEngine already coalesces *back-to-back* same-block
+ * requests inside one mailbox batch; this scheduler generalizes that to
+ * requests that are merely *concurrent* — submitted by different
+ * threads, interleaved with other keys, or spread across a multi-key
+ * batch:
+ *
+ *  - **Read dedup.** The first read of a key becomes the leader and is
+ *    submitted to the engine; reads of the same key arriving while the
+ *    leader is in flight attach as waiters and never reach the engine.
+ *    One physical ORAM access fans out to N completions. Under Zipfian
+ *    skew this converts hot-key contention from serialized shard work
+ *    into coalesced hits.
+ *
+ *  - **Read-after-write forwarding.** A read of a key with an
+ *    in-flight write is served immediately from the pending write's
+ *    payload (the value the read would observe anyway, since the
+ *    engine orders same-key requests per shard). These complete inline
+ *    on the *submitting* thread.
+ *
+ *  - **Multi-key batches.** submitBatch() admits a recsys-style
+ *    embedding lookup: the keys are routed through the normal read
+ *    path (so batch keys dedupe against point reads and against each
+ *    other), fan out across shards, and a join delivers one completion
+ *    carrying every value in key order once the last key lands.
+ *
+ * Obliviousness: dedup only elides *duplicate* accesses to one hidden
+ * address, exactly like the engine's run coalescing — the adversary
+ * observes fewer accesses, never which addresses were equal (the
+ * engine's traffic remains a sequence of uniformly distributed path
+ * reads). Forwarded reads generate no tree traffic at all.
+ *
+ * Threading: submit* may be called from any thread. Leader/write
+ * completions fire on the engine's drain thread; deduped waiters fire
+ * on the drain thread inside the leader's completion; forwarded reads
+ * fire inline on the submitter; a batch join fires on whichever thread
+ * delivers the batch's last key. Callbacks must not call back into the
+ * scheduler while drain() is waiting (same rule as the engine).
+ */
+
+#ifndef PSORAM_SERVE_BATCH_SCHEDULER_HH
+#define PSORAM_SERVE_BATCH_SCHEDULER_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/sharded_engine.hh"
+
+namespace psoram::serve {
+
+struct BatchSchedulerConfig
+{
+    /** Attach concurrent same-key reads to the in-flight leader. */
+    bool dedupe_reads = true;
+    /** Serve reads of a key with an in-flight write from its payload. */
+    bool forward_writes = true;
+};
+
+class BatchScheduler
+{
+  public:
+    using RequestId = std::uint64_t;
+    using Config = BatchSchedulerConfig;
+
+    /** Outcome of one scheduled key access. */
+    struct Result
+    {
+        BlockAddr addr = kDummyBlockAddr;
+        bool is_write = false;
+        /** Served without its own engine submission (dedup attach or
+         *  pending-write forward). */
+        bool coalesced = false;
+        std::array<std::uint8_t, kBlockDataBytes> data{};
+    };
+
+    /** Outcome of one multi-key batch: values in submitted key order. */
+    struct BatchResult
+    {
+        std::vector<BlockAddr> keys;
+        std::vector<std::array<std::uint8_t, kBlockDataBytes>> values;
+        /** Keys served by dedup/forwarding instead of own accesses. */
+        std::uint32_t coalesced_keys = 0;
+    };
+
+    using Callback = std::function<void(const Result &)>;
+    using BatchCallback = std::function<void(const BatchResult &)>;
+
+    BatchScheduler(ShardedOramEngine &engine, Config config = Config());
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /** @{ Admit one request; returns immediately (a forwarded read may
+     *  invoke @p callback inline before returning). */
+    void submitRead(BlockAddr addr, Callback callback);
+    void submitWrite(BlockAddr addr, const std::uint8_t *data,
+                     Callback callback = nullptr);
+    /** @} */
+
+    /** Admit a multi-key read batch; @p callback fires once, after the
+     *  last key completes. @pre !keys.empty() */
+    void submitBatch(const std::vector<BlockAddr> &keys,
+                     BatchCallback callback);
+
+    /** Block until everything admitted so far has completed (all
+     *  fan-out and join callbacks included). */
+    void drain();
+
+    /** Scheduler counters (relaxed; safe to read mid-run). */
+    struct Stats
+    {
+        Counter reads;          ///< point + batch keys admitted as reads
+        Counter writes;         ///< writes admitted
+        Counter batches;        ///< multi-key batches admitted
+        Counter batch_keys;     ///< keys across all batches
+        Counter engine_reads;   ///< reads actually submitted (leaders)
+        Counter deduped_reads;  ///< reads attached to an in-flight leader
+        Counter forwarded_reads; ///< reads served from a pending write
+    };
+    const Stats &stats() const { return stats_; }
+
+    /** Register the scheduler counters with @p group (metrics export). */
+    void registerStats(StatGroup &group) const;
+
+    const ShardedOramEngine &engine() const { return engine_; }
+
+  private:
+    /** A parked duplicate read (or batch key) awaiting the leader. */
+    struct Waiter
+    {
+        Callback callback;
+    };
+
+    /** In-flight leader read state, keyed by address. */
+    struct InflightRead
+    {
+        std::vector<Waiter> waiters;
+    };
+
+    /** Latest pending write payload, keyed by address. */
+    struct PendingWrite
+    {
+        std::array<std::uint8_t, kBlockDataBytes> data;
+        /** Submission sequence: only the completion of the *latest*
+         *  write erases the entry (an older completion must not drop a
+         *  newer payload). */
+        std::uint64_t seq = 0;
+    };
+
+    void completeLeader(BlockAddr addr,
+                        const ShardedOramEngine::Completion &inner,
+                        Callback leader_callback);
+
+    ShardedOramEngine &engine_;
+    Config config_;
+    Stats stats_;
+
+    std::mutex mutex_;
+    std::unordered_map<BlockAddr, InflightRead> inflight_reads_;
+    std::unordered_map<BlockAddr, PendingWrite> pending_writes_;
+    std::uint64_t write_seq_ = 0;
+};
+
+} // namespace psoram::serve
+
+#endif // PSORAM_SERVE_BATCH_SCHEDULER_HH

@@ -1,0 +1,288 @@
+#include "serve/harness.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace psoram::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsSince(Clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - t0)
+            .count());
+}
+
+/**
+ * Per-submitter measurement state. Completions may land on the engine
+ * drain thread, on the submitting thread (forwarded reads), or on
+ * whichever thread joins a batch, so the histogram and counters are
+ * mutex-guarded; the lock is uncontended relative to the cost of an
+ * ORAM access.
+ */
+struct Submitter
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    LatencyHistogram latency;
+    std::uint64_t completed_requests = 0;
+    std::uint64_t completed_keys = 0;
+    std::uint64_t submitted_requests = 0;
+    /** Closed loop: tokens available to submit. */
+    unsigned tokens = 0;
+
+    void
+    complete(std::uint64_t latency_ns, std::uint64_t keys, bool refill)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            latency.record(latency_ns);
+            ++completed_requests;
+            completed_keys += keys;
+            if (refill)
+                ++tokens;
+        }
+        if (refill)
+            cv.notify_one();
+    }
+};
+
+/** Join for a bypass-path multi-key batch (the scheduler path uses
+ *  BatchScheduler's own join). */
+struct BypassJoin
+{
+    std::atomic<std::uint32_t> remaining;
+    std::function<void()> done;
+};
+
+/** Deterministic write payload for @p key (the engine copies it). */
+std::array<std::uint8_t, kBlockDataBytes>
+payloadFor(BlockAddr key)
+{
+    std::array<std::uint8_t, kBlockDataBytes> payload{};
+    std::memcpy(payload.data(), &key, sizeof(key));
+    return payload;
+}
+
+} // namespace
+
+ServingHarness::ServingHarness(ShardedOramEngine &engine,
+                               BatchScheduler *scheduler)
+    : engine_(engine), scheduler_(scheduler)
+{
+}
+
+LoadPointResult
+ServingHarness::run(const HarnessConfig &config)
+{
+    if (config.use_scheduler && scheduler_ == nullptr)
+        PSORAM_PANIC("harness has no scheduler but use_scheduler set");
+    const unsigned num_submitters = std::max(1u, config.submitters);
+
+    const ShardedOramEngine::StatsSnapshot engine_before =
+        engine_.stats();
+    const BatchScheduler::Stats *sched_stats =
+        scheduler_ ? &scheduler_->stats() : nullptr;
+    const std::uint64_t sched_before[4] = {
+        sched_stats ? sched_stats->deduped_reads.value() : 0,
+        sched_stats ? sched_stats->forwarded_reads.value() : 0,
+        sched_stats ? sched_stats->engine_reads.value() : 0,
+        sched_stats ? sched_stats->batches.value() : 0,
+    };
+
+    std::vector<std::unique_ptr<Submitter>> submitters;
+    for (unsigned s = 0; s < num_submitters; ++s)
+        submitters.push_back(std::make_unique<Submitter>());
+
+    std::atomic<std::int64_t> budget{
+        config.max_requests
+            ? static_cast<std::int64_t>(config.max_requests)
+            : INT64_MAX};
+
+    const auto t0 = Clock::now();
+    const std::uint64_t duration_ns = static_cast<std::uint64_t>(
+        config.duration_s * 1e9);
+
+    const auto submitOne = [&](Submitter &sub, const Request &request,
+                               std::uint64_t reference_ns,
+                               bool refill) {
+        const std::uint64_t keys = request.keys.size();
+        const auto onDone = [&sub, reference_ns, keys, refill, t0] {
+            const std::uint64_t now = nsSince(t0);
+            sub.complete(now > reference_ns ? now - reference_ns : 0,
+                         keys, refill);
+        };
+        if (config.use_scheduler) {
+            if (request.is_write)
+                scheduler_->submitWrite(
+                    request.keys[0], payloadFor(request.keys[0]).data(),
+                    [onDone](const BatchScheduler::Result &) {
+                        onDone();
+                    });
+            else if (keys == 1)
+                scheduler_->submitRead(
+                    request.keys[0],
+                    [onDone](const BatchScheduler::Result &) {
+                        onDone();
+                    });
+            else
+                scheduler_->submitBatch(
+                    request.keys,
+                    [onDone](const BatchScheduler::BatchResult &) {
+                        onDone();
+                    });
+        } else {
+            if (request.is_write)
+                engine_.submitWrite(
+                    request.keys[0], payloadFor(request.keys[0]).data(),
+                    [onDone](const ShardedOramEngine::Completion &) {
+                        onDone();
+                    });
+            else if (keys == 1)
+                engine_.submitRead(
+                    request.keys[0],
+                    [onDone](const ShardedOramEngine::Completion &) {
+                        onDone();
+                    });
+            else {
+                auto join = std::make_shared<BypassJoin>();
+                join->remaining.store(
+                    static_cast<std::uint32_t>(keys),
+                    std::memory_order_relaxed);
+                join->done = onDone;
+                for (const BlockAddr key : request.keys)
+                    engine_.submitRead(
+                        key,
+                        [join](const ShardedOramEngine::Completion &) {
+                            if (join->remaining.fetch_sub(
+                                    1, std::memory_order_acq_rel) == 1)
+                                join->done();
+                        });
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned s = 0; s < num_submitters; ++s) {
+        threads.emplace_back([&, s] {
+            Submitter &sub = *submitters[s];
+            StreamConfig stream_config = config.stream;
+            stream_config.seed =
+                deriveStreamSeed(config.stream.seed, s);
+            stream_config.offered_rate =
+                config.stream.offered_rate / num_submitters;
+            RequestStream stream(stream_config);
+            Request request;
+
+            if (config.stream.mode == ArrivalMode::OpenLoop) {
+                for (;;) {
+                    stream.next(request);
+                    // The schedule, not the wall clock, ends the run:
+                    // a backlogged system still submits exactly the
+                    // offered request count for the window.
+                    if (request.arrival_ns >= duration_ns)
+                        break;
+                    if (budget.fetch_sub(1,
+                                         std::memory_order_relaxed) <= 0)
+                        break;
+                    const std::uint64_t now = nsSince(t0);
+                    if (request.arrival_ns > now)
+                        std::this_thread::sleep_for(
+                            std::chrono::nanoseconds(
+                                request.arrival_ns - now));
+                    ++sub.submitted_requests;
+                    submitOne(sub, request, request.arrival_ns, false);
+                }
+            } else {
+                {
+                    std::lock_guard<std::mutex> lock(sub.mutex);
+                    sub.tokens = std::max(1u, config.closed_loop_depth);
+                }
+                for (;;) {
+                    if (nsSince(t0) >= duration_ns)
+                        break;
+                    if (budget.fetch_sub(1,
+                                         std::memory_order_relaxed) <= 0)
+                        break;
+                    {
+                        std::unique_lock<std::mutex> lock(sub.mutex);
+                        sub.cv.wait(lock, [&] { return sub.tokens > 0; });
+                        --sub.tokens;
+                    }
+                    stream.next(request);
+                    ++sub.submitted_requests;
+                    submitOne(sub, request, nsSince(t0), true);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Everything submitted; wait out the backlog. The drain tail is
+    // charged to wall_seconds, so falling behind shows up as reduced
+    // achieved rate (and as queueing delay in the open-loop latencies).
+    if (scheduler_)
+        scheduler_->drain();
+    else
+        engine_.drain();
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    LoadPointResult result;
+    result.offered_rate = config.stream.mode == ArrivalMode::OpenLoop
+        ? config.stream.offered_rate
+        : 0.0;
+    result.wall_seconds = wall_seconds;
+    LatencyHistogram merged;
+    for (const auto &sub : submitters) {
+        std::lock_guard<std::mutex> lock(sub->mutex);
+        merged.merge(sub->latency);
+        result.submitted_requests += sub->submitted_requests;
+        result.completed_requests += sub->completed_requests;
+        result.completed_keys += sub->completed_keys;
+    }
+    result.latency = LatencySnapshot::from(merged);
+    if (wall_seconds > 0.0) {
+        result.achieved_rate =
+            static_cast<double>(result.completed_requests) /
+            wall_seconds;
+        result.achieved_key_rate =
+            static_cast<double>(result.completed_keys) / wall_seconds;
+    }
+
+    if (sched_stats) {
+        result.deduped_reads =
+            sched_stats->deduped_reads.value() - sched_before[0];
+        result.forwarded_reads =
+            sched_stats->forwarded_reads.value() - sched_before[1];
+        result.engine_reads =
+            sched_stats->engine_reads.value() - sched_before[2];
+        result.batches = sched_stats->batches.value() - sched_before[3];
+    }
+    const ShardedOramEngine::StatsSnapshot engine_after =
+        engine_.stats();
+    result.physical_accesses = engine_after.physical_accesses -
+                               engine_before.physical_accesses;
+    result.engine_coalesced =
+        engine_after.coalesced - engine_before.coalesced;
+    result.stash_hits =
+        engine_after.stash_hits - engine_before.stash_hits;
+    result.backpressure_waits = engine_after.backpressure_waits -
+                                engine_before.backpressure_waits;
+    return result;
+}
+
+} // namespace psoram::serve

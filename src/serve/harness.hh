@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ServingHarness: drive a sharded PS-ORAM stack with production-shaped
+ * traffic and measure what a client would see.
+ *
+ * One run() executes a single *load point*: S submitter threads, each
+ * with its own deterministic RequestStream (derived seed, 1/S of the
+ * offered rate), pushing requests through either the BatchScheduler or
+ * straight into the ShardedOramEngine (the bypass path the scheduler
+ * is compared against).
+ *
+ * Latency semantics:
+ *  - Open loop: each request has a *scheduled* arrival time; the
+ *    submitter sleeps until it, then submits. Latency = completion
+ *    time − scheduled arrival. When the system falls behind, the
+ *    submitter does not sleep and the unsent backlog's queueing delay
+ *    lands in the measurement — the coordinated-omission-free
+ *    definition tail-latency SLOs need.
+ *  - Closed loop: each submitter keeps `closed_loop_depth` requests
+ *    outstanding (token semaphore refilled by completions); latency =
+ *    completion − submit.
+ *
+ * A run ends when the wall-clock duration elapses (open loop stops
+ * *submitting* at the deadline, then drains; the drain tail is part of
+ * the measured completions but the achieved rate is computed over the
+ * full time to last completion, so a backlogged system cannot inflate
+ * its throughput).
+ */
+
+#ifndef PSORAM_SERVE_HARNESS_HH
+#define PSORAM_SERVE_HARNESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/batch_scheduler.hh"
+#include "serve/latency.hh"
+#include "serve/request_stream.hh"
+#include "sim/sharded_engine.hh"
+
+namespace psoram::serve {
+
+struct HarnessConfig
+{
+    /** Stream shape; offered_rate is the TOTAL open-loop rate, split
+     *  evenly across submitters. */
+    StreamConfig stream;
+    unsigned submitters = 2;
+    /** Outstanding requests per submitter in closed loop. */
+    unsigned closed_loop_depth = 8;
+    /** Wall-clock budget for the submission phase, seconds. */
+    double duration_s = 1.0;
+    /** Hard cap on submitted requests (0 = duration only). */
+    std::uint64_t max_requests = 0;
+    /** Route requests through the BatchScheduler (false = bypass:
+     *  straight into the engine, the comparison baseline). */
+    bool use_scheduler = true;
+};
+
+/** Everything measured at one load point. */
+struct LoadPointResult
+{
+    double offered_rate = 0.0;
+    /** Completed requests / wall time to last completion. */
+    double achieved_rate = 0.0;
+    /** Completed keys (batch members counted) / wall time. */
+    double achieved_key_rate = 0.0;
+    std::uint64_t submitted_requests = 0;
+    std::uint64_t completed_requests = 0;
+    std::uint64_t completed_keys = 0;
+    double wall_seconds = 0.0;
+    LatencySnapshot latency;
+
+    /** @{ Scheduler counters over the run (zero on the bypass path). */
+    std::uint64_t deduped_reads = 0;
+    std::uint64_t forwarded_reads = 0;
+    std::uint64_t engine_reads = 0;
+    std::uint64_t batches = 0;
+    /** @} */
+
+    /** @{ Engine deltas over the run. */
+    std::uint64_t physical_accesses = 0;
+    std::uint64_t engine_coalesced = 0;
+    std::uint64_t stash_hits = 0;
+    /** Submits that parked on a full shard mailbox (saturation). */
+    std::uint64_t backpressure_waits = 0;
+    /** @} */
+};
+
+class ServingHarness
+{
+  public:
+    /** @p scheduler may be null when every run bypasses it. */
+    ServingHarness(ShardedOramEngine &engine, BatchScheduler *scheduler);
+
+    /** Execute one load point (blocking). */
+    LoadPointResult run(const HarnessConfig &config);
+
+  private:
+    ShardedOramEngine &engine_;
+    BatchScheduler *scheduler_;
+};
+
+} // namespace psoram::serve
+
+#endif // PSORAM_SERVE_HARNESS_HH

@@ -1,0 +1,99 @@
+#include "serve/latency.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace psoram::serve {
+
+unsigned
+LatencyHistogram::bucketIndex(std::uint64_t ns)
+{
+    // Values below kSubBuckets map linearly (octave 0 shares the
+    // sub-bucket array); above that, the octave is the position of the
+    // leading bit relative to the sub-bucket resolution and the
+    // sub-bucket the next log2(kSubBuckets) bits.
+    if (ns < kSubBuckets)
+        return static_cast<unsigned>(ns);
+    const unsigned msb = 63 - std::countl_zero(ns);
+    const unsigned octave = msb - 5; // log2(kSubBuckets) == 6
+    const unsigned sub =
+        static_cast<unsigned>((ns >> (msb - 6)) & (kSubBuckets - 1));
+    const unsigned index = octave * kSubBuckets + sub;
+    return std::min(index,
+                    static_cast<unsigned>(kOctaves * kSubBuckets - 1));
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperBound(unsigned index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned octave = index / kSubBuckets;
+    const unsigned sub = index % kSubBuckets;
+    // Inverse of bucketIndex: reconstruct the highest value mapping to
+    // (octave, sub) — the next bucket's lower bound minus one.
+    const unsigned msb = octave + 5;
+    const std::uint64_t base = (1ULL << msb) |
+        (static_cast<std::uint64_t>(sub) << (msb - 6));
+    return base + ((1ULL << (msb - 6)) - 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t ns)
+{
+    ++buckets_[bucketIndex(ns)];
+    ++count_;
+    sum_ += ns;
+    max_ = std::max(max_, ns);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t
+LatencyHistogram::percentileNs(double fraction) const
+{
+    if (count_ == 0)
+        return 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(count_);
+    std::uint64_t running = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        running += buckets_[i];
+        if (static_cast<double>(running) >= target && running > 0)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+}
+
+LatencySnapshot
+LatencySnapshot::from(const LatencyHistogram &hist)
+{
+    LatencySnapshot snap;
+    snap.count = hist.count();
+    snap.mean_ns = hist.meanNs();
+    snap.p50_ns = hist.percentileNs(0.50);
+    snap.p90_ns = hist.percentileNs(0.90);
+    snap.p99_ns = hist.percentileNs(0.99);
+    snap.p999_ns = hist.percentileNs(0.999);
+    snap.max_ns = hist.maxNs();
+    return snap;
+}
+
+} // namespace psoram::serve

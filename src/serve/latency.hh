@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LatencyHistogram: HDR-style log-bucketed latency accumulator.
+ *
+ * Values (nanoseconds) are bucketed into octaves each split into
+ * kSubBuckets linear sub-buckets, giving a constant ~1.6 % relative
+ * resolution across the full range (1 ns .. ~6 days; anything beyond
+ * clamps into the last bucket) in a few KiB of fixed storage — percentile queries stay accurate at the tail without
+ * retaining per-sample data, which an open-loop run at tens of
+ * thousands of requests/sec would otherwise accumulate without bound.
+ *
+ * Not thread-safe by design: the serving harness keeps one instance per
+ * submitter (samples happen on the engine's completion drain thread,
+ * but one histogram is only ever touched by one thread at a time there)
+ * and merges read-side, the same pattern the shard stats use.
+ */
+
+#ifndef PSORAM_SERVE_LATENCY_HH
+#define PSORAM_SERVE_LATENCY_HH
+
+#include <array>
+#include <cstdint>
+
+namespace psoram::serve {
+
+class LatencyHistogram
+{
+  public:
+    static constexpr unsigned kOctaves = 44;
+    static constexpr unsigned kSubBuckets = 64;
+
+    LatencyHistogram() = default;
+
+    void record(std::uint64_t ns);
+
+    /** Fold @p other in (read-side merge across submitters). */
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t maxNs() const { return max_; }
+    double meanNs() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Smallest bucket upper bound v such that at least @p fraction of
+     * the recorded samples are <= v (0 when empty). The bucket width
+     * bounds the error at ~1/kSubBuckets relative.
+     */
+    std::uint64_t percentileNs(double fraction) const;
+
+    void reset();
+
+  private:
+    static unsigned bucketIndex(std::uint64_t ns);
+    static std::uint64_t bucketUpperBound(unsigned index);
+
+    std::array<std::uint64_t, kOctaves * kSubBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** The percentile set every serving report carries. */
+struct LatencySnapshot
+{
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::uint64_t max_ns = 0;
+
+    static LatencySnapshot from(const LatencyHistogram &hist);
+};
+
+} // namespace psoram::serve
+
+#endif // PSORAM_SERVE_LATENCY_HH

@@ -28,7 +28,8 @@ std::vector<DesignKind> allDesigns();
 /**
  * Build a SystemConfig from command-line style overrides. Recognized
  * keys: height, z, stash, wpq, channels, banks, seed, cipher
- * (aes|fast), tech (pcm|stt).
+ * (aes|fast), tech (pcm|stt), fetchthreads, cachebuckets,
+ * cachestripes (0 = pipeline defaults).
  */
 SystemConfig configFromOverrides(const Config &overrides,
                                  DesignKind design);

@@ -159,6 +159,8 @@ OramEngine::backpressure()
     // Bound the pending queue: an open-loop producer that outruns the
     // controller drives the engine inline until it is back under the
     // configured watermark, instead of growing the deque without limit.
+    if (queue_.size() > config_.max_pending)
+        ++stats_.backpressure_stalls;
     while (queue_.size() > config_.max_pending && !faulted_)
         if (poll() == 0 && inflight_.empty())
             break;
@@ -426,6 +428,8 @@ OramEngine::registerStats(StatGroup &group) const
                      "controller accesses that touched the tree");
     group.addCounter("coalesced", &stats_.coalesced,
                      "requests absorbed into an earlier access");
+    group.addCounter("backpressure_stalls", &stats_.backpressure_stalls,
+                     "submits that hit the max_pending bound");
 }
 
 } // namespace psoram

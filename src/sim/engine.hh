@@ -145,6 +145,9 @@ class OramEngine
         Counter physical_accesses;
         /** Requests absorbed into an earlier request's access. */
         Counter coalesced;
+        /** Submits that found the queue over max_pending and had to
+         *  drive the engine inline (saturation signal). */
+        Counter backpressure_stalls;
     };
     const Stats &stats() const { return stats_; }
 

@@ -111,6 +111,8 @@ ShardedOramEngine::submit(BlockAddr addr, bool is_write,
         // Submit-side backpressure: block until the worker has swapped
         // the mailbox below the bound (or is shutting down), so an
         // open-loop producer cannot grow it without limit.
+        if (worker.mailbox.size() >= config_.max_mailbox)
+            ++worker.backpressure_waits;
         worker.space_cv.wait(lock, [&] {
             return worker.stop ||
                    worker.mailbox.size() < config_.max_mailbox;
@@ -303,6 +305,7 @@ ShardedOramEngine::shardStats(unsigned shard) const
     snap.coalesced = inner.coalesced.value();
     snap.controller_accesses = worker.controller->accessCount();
     snap.stash_hits = worker.controller->stashHits();
+    snap.backpressure_waits = worker.backpressure_waits.value();
     return snap;
 }
 
@@ -331,6 +334,9 @@ ShardedOramEngine::registerShardStats(unsigned shard,
     const Worker &worker = *workers_.at(shard);
     worker.engine->registerStats(group);
     worker.controller->registerStats(group);
+    group.addCounter("mailbox_backpressure_waits",
+                     &worker.backpressure_waits,
+                     "submits that parked on the full mailbox");
 }
 
 ShardedOramEngine::StatsSnapshot
@@ -345,6 +351,7 @@ ShardedOramEngine::stats() const
         total.coalesced += shard.coalesced;
         total.controller_accesses += shard.controller_accesses;
         total.stash_hits += shard.stash_hits;
+        total.backpressure_waits += shard.backpressure_waits;
     }
     return total;
 }

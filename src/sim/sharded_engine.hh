@@ -139,6 +139,10 @@ class ShardedOramEngine
         /** Controller-level accesses (stash hits included). */
         std::uint64_t controller_accesses = 0;
         std::uint64_t stash_hits = 0;
+        /** Submits that parked on a full mailbox (max_mailbox bound) —
+         *  the engine-side saturation signal the serving harness
+         *  reports. */
+        std::uint64_t backpressure_waits = 0;
     };
 
     /** One shard's counters (safe while workers run). */
@@ -181,6 +185,8 @@ class ShardedOramEngine
         std::condition_variable space_cv;
         std::deque<Request> mailbox;
         bool stop = false;
+        /** Submits that blocked on this mailbox's max_mailbox bound. */
+        Counter backpressure_waits;
         std::thread thread;
     };
 

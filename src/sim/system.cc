@@ -37,6 +37,8 @@ systemParams(const SystemConfig &config)
     params.pipeline.fetch_threads = config.fetch_threads;
     if (config.cache_buckets != 0)
         params.pipeline.cache_buckets = config.cache_buckets;
+    if (config.cache_stripes != 0)
+        params.pipeline.cache_stripes = config.cache_stripes;
     if (config.retire_queue_rounds != 0)
         params.pipeline.retire_queue_rounds = config.retire_queue_rounds;
 

@@ -55,6 +55,10 @@ struct SystemConfig
     unsigned fetch_threads = 2;
     /** SubtreeCache capacity override; 0 keeps PipelineParams' default. */
     std::size_t cache_buckets = 0;
+    /** SubtreeCache lock-stripe override; 0 keeps PipelineParams'
+     *  default (tune alongside fetch_threads — stripes bound fill
+     *  concurrency). */
+    unsigned cache_stripes = 0;
     /** Retire-queue depth override; 0 keeps PipelineParams' default. */
     std::size_t retire_queue_rounds = 0;
 

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Load-generator tests: seeded determinism of RequestStream (identical
+ * arrival times and key sequences for identical configs, reset()
+ * restarts the stream), statistical shape of the generated traffic
+ * (chi-square goodness-of-fit for the Zipfian sampler, Poisson
+ * interarrival mean, hot-set split, read/write mix), and the
+ * per-submitter seed derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "serve/request_stream.hh"
+
+namespace psoram::serve {
+namespace {
+
+StreamConfig
+baseConfig()
+{
+    StreamConfig config;
+    config.mode = ArrivalMode::OpenLoop;
+    config.dist = KeyDist::Zipfian;
+    config.num_keys = 4096;
+    config.offered_rate = 1e6;
+    config.seed = 42;
+    return config;
+}
+
+TEST(RequestStream, SameSeedSameSequence)
+{
+    const StreamConfig config = baseConfig();
+    RequestStream a(config);
+    RequestStream b(config);
+    Request ra, rb;
+    for (int i = 0; i < 2000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        ASSERT_EQ(ra.arrival_ns, rb.arrival_ns) << "request " << i;
+        ASSERT_EQ(ra.is_write, rb.is_write) << "request " << i;
+        ASSERT_EQ(ra.keys, rb.keys) << "request " << i;
+    }
+}
+
+TEST(RequestStream, ResetReplaysIdentically)
+{
+    RequestStream stream(baseConfig());
+    Request request;
+    std::vector<std::uint64_t> arrivals;
+    std::vector<BlockAddr> keys;
+    for (int i = 0; i < 500; ++i) {
+        stream.next(request);
+        arrivals.push_back(request.arrival_ns);
+        keys.push_back(request.keys[0]);
+    }
+    stream.reset();
+    for (int i = 0; i < 500; ++i) {
+        stream.next(request);
+        ASSERT_EQ(request.arrival_ns, arrivals[i]) << "request " << i;
+        ASSERT_EQ(request.keys[0], keys[i]) << "request " << i;
+    }
+}
+
+TEST(RequestStream, DifferentSeedsDiverge)
+{
+    StreamConfig config = baseConfig();
+    RequestStream a(config);
+    config.seed = 43;
+    RequestStream b(config);
+    Request ra, rb;
+    int diff = 0;
+    for (int i = 0; i < 200; ++i) {
+        a.next(ra);
+        b.next(rb);
+        diff += ra.keys[0] != rb.keys[0] ||
+                ra.arrival_ns != rb.arrival_ns;
+    }
+    EXPECT_GT(diff, 150) << "seeds barely change the stream";
+}
+
+TEST(RequestStream, ArrivalsAreMonotoneAndKeysInRange)
+{
+    const StreamConfig config = baseConfig();
+    RequestStream stream(config);
+    Request request;
+    std::uint64_t previous = 0;
+    for (int i = 0; i < 5000; ++i) {
+        stream.next(request);
+        EXPECT_GE(request.arrival_ns, previous);
+        previous = request.arrival_ns;
+        for (const BlockAddr key : request.keys)
+            ASSERT_LT(key, config.num_keys);
+    }
+}
+
+TEST(RequestStream, PoissonInterarrivalMeanMatchesRate)
+{
+    // rate 1e6/s => mean interarrival 1000 ns. With 100k samples the
+    // standard error of the mean is ~3 ns, so a 5% band is ~15 sigma.
+    StreamConfig config = baseConfig();
+    config.read_fraction = 1.0;
+    RequestStream stream(config);
+    Request request;
+    const int n = 100'000;
+    std::uint64_t last = 0;
+    for (int i = 0; i < n; ++i)
+        stream.next(request);
+    last = request.arrival_ns;
+    const double mean = static_cast<double>(last) / n;
+    EXPECT_NEAR(mean, 1000.0, 50.0);
+}
+
+TEST(RequestStream, ReadWriteMixAndBatchShape)
+{
+    StreamConfig config = baseConfig();
+    config.read_fraction = 0.8;
+    config.batch_size = 4;
+    RequestStream stream(config);
+    Request request;
+    const int n = 20'000;
+    int writes = 0;
+    for (int i = 0; i < n; ++i) {
+        stream.next(request);
+        if (request.is_write) {
+            ++writes;
+            ASSERT_EQ(request.keys.size(), 1u)
+                << "writes must stay single-key";
+        } else {
+            ASSERT_EQ(request.keys.size(), 4u);
+        }
+    }
+    const double write_fraction = static_cast<double>(writes) / n;
+    EXPECT_NEAR(write_fraction, 0.2, 0.02);
+}
+
+TEST(RequestStream, HotSetFractionLandsOnHotKeys)
+{
+    StreamConfig config = baseConfig();
+    config.dist = KeyDist::HotSet;
+    config.hot_fraction = 0.9;
+    config.hot_keys = 16;
+    RequestStream stream(config);
+    Request request;
+
+    // Identify the hot set from a prefix, then check the split. The
+    // 16 hottest keys collectively draw 90% of 40k requests, so each
+    // appears ~2250 times; any cold key appears ~1 time.
+    std::map<BlockAddr, int> counts;
+    const int n = 40'000;
+    for (int i = 0; i < n; ++i) {
+        stream.next(request);
+        for (const BlockAddr key : request.keys)
+            ++counts[key];
+    }
+    std::vector<std::pair<int, BlockAddr>> by_count;
+    for (const auto &[key, count] : counts)
+        by_count.emplace_back(count, key);
+    std::sort(by_count.rbegin(), by_count.rend());
+    ASSERT_GE(by_count.size(), 16u);
+    long hot_total = 0;
+    for (int i = 0; i < 16; ++i)
+        hot_total += by_count[i].first;
+    const long total = [&] {
+        long t = 0;
+        for (const auto &[count, key] : by_count)
+            t += count;
+        return t;
+    }();
+    EXPECT_NEAR(static_cast<double>(hot_total) / total, 0.9, 0.03);
+}
+
+TEST(ZipfianSampler, ChiSquareGoodnessOfFit)
+{
+    // 50 ranks, 200k draws. The inversion is exact, so the statistic
+    // follows chi-square with dof = 49; the p = 1e-4 critical value is
+    // ~95.6. A broken sampler (off-by-one rank, wrong exponent,
+    // un-normalized CDF) lands in the thousands.
+    const std::uint64_t n = 50;
+    const ZipfianSampler sampler(n, 0.99);
+    Rng rng(1234);
+    const int draws = 200'000;
+    std::vector<int> observed(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t rank = sampler.nextRank(rng);
+        ASSERT_LT(rank, n);
+        ++observed[rank];
+    }
+    double chi2 = 0.0;
+    double total_p = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const double expected = sampler.rankProbability(k) * draws;
+        ASSERT_GT(expected, 5.0) << "rank " << k
+                                 << ": chi-square precondition";
+        const double delta = observed[k] - expected;
+        chi2 += delta * delta / expected;
+        total_p += sampler.rankProbability(k);
+    }
+    EXPECT_NEAR(total_p, 1.0, 1e-9) << "probabilities must sum to 1";
+    EXPECT_LT(chi2, 95.6) << "Zipfian sample rejects at p=1e-4";
+    // Rank 0 must dominate: p(0)/p(1) = 2^0.99 ~ 1.99.
+    EXPECT_GT(observed[0], observed[1]);
+}
+
+TEST(ZipfianSampler, RankZeroIsMostPopular)
+{
+    const ZipfianSampler sampler(1000, 0.99);
+    double previous = sampler.rankProbability(0);
+    for (std::uint64_t k = 1; k < 1000; ++k) {
+        const double p = sampler.rankProbability(k);
+        EXPECT_LT(p, previous) << "rank " << k;
+        previous = p;
+    }
+}
+
+TEST(RequestStream, DerivedSeedsAreDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (unsigned s = 0; s < 64; ++s) {
+        const std::uint64_t derived = deriveStreamSeed(7, s);
+        EXPECT_EQ(derived, deriveStreamSeed(7, s));
+        EXPECT_TRUE(seen.insert(derived).second)
+            << "submitter seeds collide at " << s;
+    }
+    EXPECT_NE(deriveStreamSeed(7, 3), deriveStreamSeed(8, 3));
+}
+
+TEST(RequestStream, ZipfianScrambleSpreadsHotKeys)
+{
+    // The most popular ranks must not collapse onto consecutive
+    // addresses (which would pin every hot key to one shard under
+    // range partitioning and to few shards under interleave).
+    StreamConfig config = baseConfig();
+    config.read_fraction = 1.0;
+    config.batch_size = 1;
+    RequestStream stream(config);
+    Request request;
+    std::map<BlockAddr, int> counts;
+    for (int i = 0; i < 20'000; ++i) {
+        stream.next(request);
+        ++counts[request.keys[0]];
+    }
+    std::vector<std::pair<int, BlockAddr>> by_count;
+    for (const auto &[key, count] : counts)
+        by_count.emplace_back(count, key);
+    std::sort(by_count.rbegin(), by_count.rend());
+    ASSERT_GE(by_count.size(), 8u);
+    // Top-8 hot keys spread across both parities (interleave shards).
+    std::set<BlockAddr> parities;
+    for (int i = 0; i < 8; ++i)
+        parities.insert(by_count[i].second % 2);
+    EXPECT_EQ(parities.size(), 2u) << "hot keys cluster on one parity";
+}
+
+} // namespace
+} // namespace psoram::serve
