@@ -10,6 +10,15 @@
  *   cipher=aes|fast  tech=pcm|stt
  *   workloads=K      only run the first K workloads (quick looks)
  *
+ * Storage backend selection ("--backend <kind>" or "--backend=<kind>",
+ * equivalently the "backend=<kind>" override):
+ *   --backend memory  in-memory NvmDevice (default)
+ *   --backend file    FileBackedNvm (image checkpointed to a file)
+ *   --backend disk    PagedDiskBackend (out-of-core page-cached tree)
+ * file/disk take their path from "backingfile=<path>"; when absent the
+ * bench generates a per-process temp path and deletes the tree at exit.
+ * Disk tuning rides along as "cachepages=N pinpages=N".
+ *
  * Benches additionally accept "--json <path>" (or --json=<path>): the
  * run then also emits a machine-readable report (BENCH_*.json) used by
  * the CI perf-smoke step and the perf trajectory in DESIGN.md §8.
@@ -33,6 +42,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/config.hh"
 #include "common/table.hh"
@@ -62,6 +73,11 @@ class JsonReport
         meta_.str("build_type", PSORAM_BUILD_TYPE);
 #else
         meta_.str("build_type", "unknown");
+#endif
+#ifdef PSORAM_GIT_SHA
+        meta_.str("git_commit", PSORAM_GIT_SHA);
+#else
+        meta_.str("git_commit", "unknown");
 #endif
         meta_.count("hardware_concurrency",
                     std::thread::hardware_concurrency());
@@ -172,6 +188,13 @@ struct BenchContext
 {
     Config overrides;
     std::uint64_t instructions = 200'000;
+    /** Resolved --backend / backend= choice ("memory"|"file"|"disk"). */
+    std::string backend = "memory";
+    /** Backing tree path for file/disk backends; empty for memory.
+     *  When the bench generated it (no backingfile= given), the paths
+     *  (plus per-shard suffixes) are deleted at exit. */
+    std::string backing_file;
+    bool owns_backing_file = false;
     /** Non-empty: also emit a JSON report here (--json <path>). */
     std::string json_path;
     /** Non-empty: record and write a Chrome trace here (--trace). */
@@ -228,6 +251,50 @@ setupObservability(const BenchContext &ctx)
     if (!ctx.metrics_path.empty())
         obs::MetricsExporter::dumpAtExit(ctx.metrics_path);
 }
+
+/**
+ * Delete a backing tree file plus any per-shard siblings
+ * ("<path>.shardK") a sharded run may have created. Missing files are
+ * fine — std::remove failures are ignored.
+ */
+inline void
+removeBackingTree(const std::string &path, unsigned max_shards = 64)
+{
+    if (path.empty())
+        return;
+    std::remove(path.c_str());
+    for (unsigned shard = 0; shard < max_shards; ++shard)
+        std::remove((path + ".shard" + std::to_string(shard)).c_str());
+}
+
+/** @{ Exit-time scrub of bench-generated backing trees (same leaked-
+ *  static pattern as the trace dump: the hook may run during static
+ *  destruction). */
+inline std::vector<std::string> &
+scrubPaths()
+{
+    static std::vector<std::string> *paths = new std::vector<std::string>();
+    return *paths;
+}
+
+inline void
+scrubBackingTreesAtExit()
+{
+    for (const std::string &path : scrubPaths())
+        removeBackingTree(path);
+}
+
+inline void
+scrubBackingTreeOnExit(const std::string &path)
+{
+    static bool registered = false;
+    if (!registered) {
+        registered = true;
+        std::atexit(scrubBackingTreesAtExit);
+    }
+    scrubPaths().push_back(path);
+}
+/** @} */
 
 /** Value of "--name <v>" or "--name=<v>" (empty when absent). */
 inline std::string
@@ -286,6 +353,21 @@ parseContext(int argc, char **argv)
     }
     setupObservability(ctx);
     ctx.overrides.parseArgs(argc, argv);
+    const std::string backend_flag = flagValue(argc, argv, "--backend");
+    if (!backend_flag.empty())
+        ctx.overrides.set("backend", backend_flag);
+    ctx.backend = ctx.overrides.getString("backend", "memory");
+    ctx.backing_file = ctx.overrides.getString("backingfile", "");
+    if (ctx.backend != "memory" && ctx.backing_file.empty()) {
+        // file/disk need a tree path; keep generated ones out of the
+        // repo and off the next run's plate.
+        ctx.backing_file = "/tmp/psoram_bench_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".tree";
+        ctx.overrides.set("backingfile", ctx.backing_file);
+        ctx.owns_backing_file = true;
+        scrubBackingTreeOnExit(ctx.backing_file);
+    }
     ctx.instructions =
         ctx.overrides.getUint("instructions", 200'000);
     ctx.workloads = spec2006Workloads();
@@ -305,6 +387,10 @@ inline void
 addSystemMeta(JsonReport &report, const SystemConfig &config)
 {
     const PipelineParams defaults;
+    report.meta("backend", backendName(config.effectiveBackend()));
+    if (config.effectiveBackend() == BackendKind::Disk)
+        report.metaCount("disk_cache_pages", config.disk_cache_pages)
+            .metaCount("disk_pinned_pages", config.disk_pinned_pages);
     report.metaCount("fetch_threads", config.fetch_threads)
         .metaCount("cache_buckets", config.cache_buckets != 0
                        ? config.cache_buckets

@@ -19,6 +19,13 @@
  * OramEngine at each listed pipeline depth (depth 1 is always measured
  * first as the baseline) and the curve is written to the JSON file
  * (BENCH_pipeline.json) with per-depth speedup_vs_depth1.
+ *
+ * "--disk-curve P[,P...]" (with --json) runs the out-of-core mode: the
+ * PS-ORAM design on the PagedDiskBackend at each listed page-cache size
+ * (BENCH_disk.json), reporting throughput plus the backend's physical
+ * IO counters — vectored calls, preads/pwrites/fsyncs, cache hit rate —
+ * per access. The default sweep spans in-core down to a cache ~50x
+ * smaller than the tree. height= / depth= / accesses= ride along.
  */
 
 #include <benchmark/benchmark.h>
@@ -31,6 +38,7 @@
 
 #include "bench_common.hh"
 #include "nvm/fault_injector.hh"
+#include "nvm/paged_disk.hh"
 #include "nvm/write_behind.hh"
 #include "oram/block.hh"
 #include "oram/subtree_cache.hh"
@@ -363,6 +371,156 @@ runPipelineJsonMode(const psoram::bench::BenchContext &ctx,
     return report.writeTo(ctx.json_path) ? 0 : 1;
 }
 
+/**
+ * Out-of-core mode: PS-ORAM on the PagedDiskBackend across a page-cache
+ * size sweep (BENCH_disk.json). A memory-backend row at the same
+ * geometry anchors the curve; each disk cell starts from a fresh tree
+ * so cells are independent. Runs at pipeline depth 2 by default — the
+ * vectored fetch/retire path is what the disk backend batches, so the
+ * per-access IO counters land at ~1 readv + ~1 writev + ~1 quiet writev.
+ */
+int
+runDiskJsonMode(const psoram::bench::BenchContext &ctx,
+                std::vector<unsigned> pages_list)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t target =
+        ctx.overrides.getUint("accesses", 4'000);
+    const double max_seconds =
+        ctx.overrides.getDouble("maxseconds", 2.0);
+    const auto height = static_cast<unsigned>(
+        ctx.overrides.getUint("height", 14));
+    const auto depth = static_cast<unsigned>(
+        ctx.overrides.getUint("depth", 2));
+
+    std::string path = ctx.backing_file;
+    if (path.empty()) {
+        path = "/tmp/psoram_disk_curve_" +
+               std::to_string(static_cast<long>(::getpid())) + ".tree";
+        psoram::bench::scrubBackingTreeOnExit(path);
+    }
+    if (pages_list.empty())
+        pages_list = {4096, 1024, 256, 64};
+
+    const auto makeConfig = [&](bool disk, unsigned cache_pages) {
+        SystemConfig config =
+            configFromOverrides(ctx.overrides, DesignKind::PsOram);
+        config.tree_height = height;
+        config.pipeline_depth = depth;
+        config.backend =
+            disk ? BackendKind::Disk : BackendKind::Memory;
+        config.backing_file = disk ? path : "";
+        config.disk_cache_pages = cache_pages;
+        return config;
+    };
+
+    psoram::bench::JsonReport report("disk_backend");
+    report.metaCount("tree_height", height)
+        .metaCount("pipeline_depth", depth)
+        .metaCount("target_accesses", target)
+        .metaCount("seed", ctx.overrides.getUint("seed", 1));
+    psoram::bench::addSystemMeta(report, makeConfig(true, pages_list[0]));
+
+    // One measured cell; cache_pages == 0 means the in-memory anchor.
+    const auto runCell = [&](unsigned cache_pages) {
+        const bool disk = cache_pages != 0;
+        if (disk)
+            psoram::bench::removeBackingTree(path);
+        System system = buildSystem(makeConfig(disk, cache_pages));
+        EngineConfig engine_config;
+        engine_config.record_completions = false;
+        OramEngine engine(*system.controller, engine_config);
+
+        std::uint8_t buf[kBlockDataBytes] = {};
+        BlockAddr addr = 0;
+        const auto submitChunk = [&](unsigned count) {
+            for (unsigned i = 0; i < count; ++i) {
+                engine.submitWrite(addr, buf, nullptr);
+                addr = (addr + 97) % system.params.num_blocks;
+            }
+            engine.drain();
+        };
+        submitChunk(512); // warm tree, stash and page cache
+        auto *paged = dynamic_cast<PagedDiskBackend *>(
+            system.device.get());
+        if (paged)
+            paged->resetStats(); // count IO over the timed region only
+
+        std::uint64_t accesses = 0;
+        const auto t0 = Clock::now();
+        double elapsed = 0.0;
+        while (accesses < target && elapsed < max_seconds) {
+            submitChunk(256);
+            accesses += 256;
+            elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                          .count();
+        }
+        const auto per_access = [&](std::uint64_t count) {
+            return static_cast<double>(count) /
+                   static_cast<double>(accesses);
+        };
+
+        const double rate = static_cast<double>(accesses) / elapsed;
+        auto &row = report.addRow();
+        row.str("backend", disk ? "disk" : "memory")
+            .count("cache_pages", cache_pages)
+            .count("accesses", accesses)
+            .num("seconds", elapsed)
+            .num("accesses_per_sec", rate)
+            .num("ns_per_access",
+                 elapsed * 1e9 / static_cast<double>(accesses));
+        std::cout << (disk ? "disk cache_pages=" +
+                                 std::to_string(cache_pages)
+                           : std::string("memory"))
+                  << ": " << static_cast<std::uint64_t>(rate)
+                  << " accesses/sec";
+        if (paged) {
+            const PagedDiskBackend::IoStats io = paged->ioStats();
+            const double tree_bytes = static_cast<double>(
+                paged->numPages() * PagedDiskBackend::kPageBytes);
+            const double cache_bytes = static_cast<double>(
+                cache_pages * PagedDiskBackend::kPageBytes);
+            row.num("tree_bytes", tree_bytes)
+                .num("tree_over_cache", tree_bytes / cache_bytes)
+                .num("readv_per_access", per_access(io.readv_calls))
+                .num("writev_per_access", per_access(io.writev_calls))
+                .num("writev_quiet_per_access",
+                     per_access(io.writev_quiet_calls))
+                .num("scalar_reads_per_access",
+                     per_access(io.scalar_reads))
+                .num("scalar_writes_per_access",
+                     per_access(io.scalar_writes))
+                .num("preads_per_access", per_access(io.preads))
+                .num("pwrites_per_access", per_access(io.pwrites))
+                .num("fsyncs_per_access", per_access(io.fsyncs))
+                .num("cache_hit_rate",
+                     io.cache_hits + io.cache_misses
+                         ? static_cast<double>(io.cache_hits) /
+                               static_cast<double>(io.cache_hits +
+                                                   io.cache_misses)
+                         : 0.0)
+                .count("cache_evictions", io.cache_evictions)
+                .count("torn_pages_detected", io.torn_pages_detected);
+            std::cout << " (tree/cache " << tree_bytes / cache_bytes
+                      << "x, readv/access "
+                      << per_access(io.readv_calls) << ", hit rate "
+                      << (io.cache_hits + io.cache_misses
+                              ? static_cast<double>(io.cache_hits) /
+                                    static_cast<double>(
+                                        io.cache_hits + io.cache_misses)
+                              : 0.0)
+                      << ")";
+        }
+        std::cout << "\n";
+    };
+
+    runCell(0); // in-memory anchor
+    for (const unsigned pages : pages_list)
+        runCell(pages);
+    psoram::bench::removeBackingTree(path);
+    return report.writeTo(ctx.json_path) ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -372,6 +530,14 @@ main(int argc, char **argv)
         psoram::bench::parseContext(argc, argv);
     const std::string depth_flag =
         psoram::bench::flagValue(argc, argv, "--pipeline-depth");
+    const std::string disk_flag =
+        psoram::bench::flagValue(argc, argv, "--disk-curve");
+    bool disk_mode = !disk_flag.empty();
+    for (int i = 1; !disk_mode && i < argc; ++i)
+        disk_mode = std::string(argv[i]).rfind("--disk-curve", 0) == 0;
+    if (!ctx.json_path.empty() && disk_mode)
+        return runDiskJsonMode(
+            ctx, psoram::bench::parseDepthList(disk_flag));
     if (!ctx.json_path.empty() && !depth_flag.empty())
         return runPipelineJsonMode(
             ctx, psoram::bench::parseDepthList(depth_flag));
@@ -386,13 +552,16 @@ main(int argc, char **argv)
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--trace" || arg == "--metrics" ||
-            arg == "--pipeline-depth") {
+            arg == "--pipeline-depth" || arg == "--disk-curve" ||
+            arg == "--backend") {
             ++i; // skip the operand too
             continue;
         }
         if (arg.rfind("--trace=", 0) == 0 ||
             arg.rfind("--metrics=", 0) == 0 ||
-            arg.rfind("--pipeline-depth=", 0) == 0)
+            arg.rfind("--pipeline-depth=", 0) == 0 ||
+            arg.rfind("--disk-curve=", 0) == 0 ||
+            arg.rfind("--backend=", 0) == 0)
             continue;
         if (i == 0 || argv[i][0] == '-')
             filtered.push_back(argv[i]);

@@ -74,6 +74,13 @@ runConfiguration(const psoram::bench::BenchContext &ctx,
     config.base.pipeline_depth = pipeline_depth;
     config.sharding.num_shards = num_shards;
 
+    // Per-shard tree capacity depends on the shard count, so a
+    // file/disk backing tree left by the previous sweep cell would be
+    // reopened with mismatched geometry (a fatal on disk). Each cell
+    // measures a cold start from its own fresh trees.
+    if (!config.base.backing_file.empty())
+        psoram::bench::removeBackingTree(config.base.backing_file);
+
     ShardedSystem system = buildShardedSystem(config);
     ShardedEngineConfig engine_config;
     engine_config.record_completions = false;

@@ -9,14 +9,27 @@
  *
  *   - a *functional* byte store (readBytes/writeBytes), sparse with
  *     zero-fill semantics for never-written lines;
+ *   - *vectored* batch variants (readv/writev/writevQuiet) taking a
+ *     span list, so a whole ORAM path or WPQ round crosses the seam as
+ *     ONE operation — the unit a disk pread/pwrite batch or a future
+ *     RPC round trip can be amortized over;
  *   - a *timing* model (access/accessOne) that schedules line transfers
  *     and returns completion cycles;
  *   - *observability*: traffic counters, wear statistics, and a
  *     snapshot/restore image used by the crash-injection framework.
  *
- * Implementations: NvmDevice (in-memory channel/bank model, the default)
- * and FileBackedNvm (same model, with the image persisted to disk so
- * crash recovery can be demonstrated across process restarts).
+ * The vectored defaults forward span-by-span to the scalar ops, which
+ * pins two invariants for backends that do not override them: the
+ * functional byte sequence (and hence the golden traffic digests) is
+ * identical to issuing the scalar calls one by one, and every span of a
+ * noisy writev reports exactly one persist boundary in span order, so
+ * the crash-point enumeration is unchanged.
+ *
+ * Implementations: NvmDevice (in-memory channel/bank model, the
+ * default; keeps the scalar-forwarding defaults), FileBackedNvm (same
+ * model, image persisted to disk across process restarts), and
+ * PagedDiskBackend (out-of-core page-cached tree on a real file, with
+ * genuinely batched vectored IO).
  */
 
 #ifndef PSORAM_MEM_BACKEND_HH
@@ -25,6 +38,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -37,6 +51,25 @@ using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
 
 /** Sparse functional contents: line address -> line bytes. */
 using MemoryImage = std::unordered_map<Addr, NvmLine>;
+
+/**
+ * One contiguous destination range of a vectored read: fill
+ * @c data[0..len) from backend bytes starting at @c addr.
+ */
+struct ReadSpan
+{
+    Addr addr = 0;
+    std::uint8_t *data = nullptr;
+    std::size_t len = 0;
+};
+
+/** One contiguous source range of a vectored write. */
+struct WriteSpan
+{
+    Addr addr = 0;
+    const std::uint8_t *data = nullptr;
+    std::size_t len = 0;
+};
 
 class MemoryBackend
 {
@@ -64,6 +97,80 @@ class MemoryBackend
     {
         writeBytes(addr, in, len);
     }
+
+    /**
+     * @{ Vectored batch access: one call carries a whole path load, WPQ
+     * round, or retire batch across the seam. The defaults forward
+     * span-by-span to the scalar virtual ops, which makes them
+     * *contractually equivalent* to a loop of scalar calls: the same
+     * bytes move in the same order, and a noisy writev reports exactly
+     * one persist boundary per span (the span is the durability atom —
+     * a WPQ entry or an eviction slot — not the whole batch, so the
+     * crash-point enumeration keeps per-entry granularity). Backends
+     * with expensive per-call costs (disk seeks, RPC round trips)
+     * override these to batch the physical IO; they must preserve both
+     * properties. Timing stays a caller concern: callers schedule the
+     * constituent line transfers through access/accessOne exactly as
+     * they did around scalar calls.
+     */
+    virtual void
+    readv(const ReadSpan *spans, std::size_t n) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            readBytes(spans[i].addr, spans[i].data, spans[i].len);
+    }
+
+    virtual void
+    writev(const WriteSpan *spans, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            writeBytes(spans[i].addr, spans[i].data, spans[i].len);
+    }
+
+    virtual void
+    writevQuiet(const WriteSpan *spans, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            writeBytesQuiet(spans[i].addr, spans[i].data, spans[i].len);
+    }
+
+    void
+    readv(const std::vector<ReadSpan> &spans) const
+    {
+        readv(spans.data(), spans.size());
+    }
+    void
+    writev(const std::vector<WriteSpan> &spans)
+    {
+        writev(spans.data(), spans.size());
+    }
+    void
+    writevQuiet(const std::vector<WriteSpan> &spans)
+    {
+        writevQuiet(spans.data(), spans.size());
+    }
+    /** @} */
+
+    /**
+     * Durability barrier for *quiet* writes. Quiet writes model data
+     * that is already durable at the protocol level (ADR-covered WPQ
+     * entries being retired), so in-memory backends need nothing here;
+     * a write-back backend (PagedDiskBackend) flushes its dirty page
+     * cache and fsyncs so the physical medium catches up. Never reports
+     * persist boundaries — it is called from background retire threads
+     * outside the enumerable protocol sequence.
+     */
+    virtual void persistBarrier() {}
+
+    /**
+     * Crash model hook: discard any *volatile* state the backend holds
+     * in front of its durable medium (e.g. a RAM page cache). The crash
+     * framework calls this at the simulated power-failure point, before
+     * the ADR flush replays in-flight WPQ entries, so recovery reads
+     * observe only what had physically reached the medium. In-memory
+     * backends, whose whole store models durable NVM, lose nothing.
+     */
+    virtual void dropVolatile() {}
 
     /**
      * Timing-only access: schedule @p len bytes starting at @p addr as

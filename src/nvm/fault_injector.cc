@@ -18,6 +18,10 @@ persistBoundaryName(PersistBoundary kind)
         return "direct-write";
       case PersistBoundary::ImagePersist:
         return "image-persist";
+      case PersistBoundary::PageWrite:
+        return "page-write";
+      case PersistBoundary::Sync:
+        return "sync";
     }
     PSORAM_PANIC("unknown persist boundary kind");
 }

@@ -48,9 +48,17 @@ enum class PersistBoundary
     DirectWrite,
     /** FileBackedNvm image checkpoint (cross-process persistence). */
     ImagePersist,
+    /** PagedDiskBackend flushing one dirty page to the file. Inside a
+     *  WPQ drain the boundary fires *mid-page* — after the first half
+     *  of the pwrite, before the rest and the checksum trailer — so the
+     *  enumerator exercises genuinely torn pages on the medium. */
+    PageWrite,
+    /** PagedDiskBackend fsync: the file-durability point that makes
+     *  all preceding page writes survive an OS/power crash. */
+    Sync,
 };
 
-inline constexpr std::size_t kNumPersistBoundaryKinds = 5;
+inline constexpr std::size_t kNumPersistBoundaryKinds = 7;
 
 const char *persistBoundaryName(PersistBoundary kind);
 

@@ -62,7 +62,35 @@ FileBackedNvm::loadFromFile()
                          " (record ", i, " of ", count, ")");
         img.emplace(line, data);
     }
-    restoreImage(img);
+
+    // Replay through the vectored quiet seam (the image map is line-
+    // ordered, so contiguous lines coalesce into single spans). Quiet:
+    // a reload reconstructs state that is already durable in the file,
+    // so it is not an enumerable crash point — and not wear either,
+    // hence the stats reset: the cells were written by the process
+    // that persisted the image, not by this reopen.
+    std::vector<std::vector<std::uint8_t>> runs;
+    std::vector<WriteSpan> spans;
+    Addr next_line = 0;
+    for (const auto &[line, data] : img) {
+        if (runs.empty() || line != next_line) {
+            runs.emplace_back();
+            runs.back().reserve(kBlockDataBytes * 16);
+        }
+        runs.back().insert(runs.back().end(), data.begin(), data.end());
+        next_line = line + 1;
+    }
+    std::size_t run = 0;
+    next_line = 0;
+    for (const auto &[line, data] : img) {
+        if (spans.empty() || line != next_line)
+            spans.push_back({line * kBlockDataBytes,
+                             runs[run++].data(), 0});
+        spans.back().len += kBlockDataBytes;
+        next_line = line + 1;
+    }
+    writevQuiet(spans);
+    resetStats();
     lines_loaded_ = count;
 }
 

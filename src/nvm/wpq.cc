@@ -52,11 +52,19 @@ Wpq::drainTo(MemoryBackend &device, Cycle earliest)
 {
     if (open_)
         PSORAM_PANIC("WPQ '", name_, "': drain before end()");
+    // One vectored write carries the whole round; each entry is still
+    // its own span (the ADR durability atom), so a fault mid-writev
+    // leaves every entry queued and the power-failure flush redelivers
+    // the full round — same final bytes, write idempotency intact.
+    std::vector<WriteSpan> spans;
+    spans.reserve(entries_.size());
+    for (const WpqEntry &entry : entries_)
+        spans.push_back({entry.addr, entry.data.data(),
+                         entry.data.size()});
+    device.writev(spans);
     Cycle done = earliest;
     while (!entries_.empty()) {
         const WpqEntry &entry = entries_.front();
-        device.writeBytes(entry.addr, entry.data.data(),
-                          entry.data.size());
         // Each entry is one NVM transaction (a block or a PosMap entry).
         done = std::max(done,
                         device.accessOne(entry.addr, true, earliest));
@@ -75,9 +83,12 @@ Wpq::crashFlush(MemoryBackend &device)
     std::size_t flushed = 0;
     if (committed_) {
         // ADR: a committed round always reaches the NVM.
+        std::vector<WriteSpan> spans;
+        spans.reserve(entries_.size());
         for (const WpqEntry &entry : entries_)
-            device.writeBytes(entry.addr, entry.data.data(),
-                              entry.data.size());
+            spans.push_back({entry.addr, entry.data.data(),
+                             entry.data.size()});
+        device.writev(spans);
         flushed = entries_.size();
     }
     entries_.clear();

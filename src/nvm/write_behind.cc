@@ -27,11 +27,16 @@ WriteBehindNvm::~WriteBehindNvm()
     if (retire_thread_.joinable())
         retire_thread_.join();
     // Whatever the thread did not get to is still committed state:
-    // apply it synchronously (same ordering, same writer — us).
+    // apply it synchronously (same ordering, same writer — us), as one
+    // vectored quiet write, then let the medium catch up.
+    std::vector<WriteSpan> spans;
     for (const Round &round : queue_)
         for (const WpqEntry &entry : round.entries)
-            inner_.writeBytesQuiet(entry.addr, entry.data.data(),
-                                   entry.data.size());
+            spans.push_back({entry.addr, entry.data.data(),
+                             entry.data.size()});
+    if (!spans.empty())
+        inner_.writevQuiet(spans);
+    inner_.persistBarrier();
 }
 
 void
@@ -164,15 +169,14 @@ WriteBehindNvm::retireBatch(std::deque<Round> &batch)
         }
     }
 
-    std::vector<std::uint8_t> run;
-    Addr run_base = 0;
-    const auto flushRun = [&] {
-        if (run.empty())
-            return;
-        inner_.writeBytesQuiet(run_base, run.data(), run.size());
-        ++transactions;
-        run.clear();
-    };
+    // Survivors at adjacent addresses still merge into single runs, but
+    // the runs now accumulate into ONE vectored quiet write for the
+    // whole batch: the inner backend sees a single call per retirement
+    // (a disk backend turns it into one page-cache pass + one barrier;
+    // a future RPC backend into one round trip). Runs live in separate
+    // vectors so their buffers stay put while the span list is built.
+    std::vector<std::vector<std::uint8_t>> runs;
+    std::vector<Addr> run_bases;
     for (std::size_t r = 0; r < batch.size(); ++r) {
         const Round &round = batch[r];
         for (std::size_t e = 0; e < round.entries.size(); ++e) {
@@ -181,15 +185,26 @@ WriteBehindNvm::retireBatch(std::deque<Round> &batch)
                 continue;
             }
             const WpqEntry &entry = round.entries[e];
-            if (run.empty() || run_base + run.size() != entry.addr) {
-                flushRun();
-                run_base = entry.addr;
+            if (runs.empty() ||
+                run_bases.back() + runs.back().size() != entry.addr) {
+                runs.emplace_back();
+                run_bases.push_back(entry.addr);
             }
-            run.insert(run.end(), entry.data.begin(),
-                       entry.data.end());
+            runs.back().insert(runs.back().end(), entry.data.begin(),
+                               entry.data.end());
         }
     }
-    flushRun();
+    std::vector<WriteSpan> spans;
+    spans.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        spans.push_back({run_bases[i], runs[i].data(), runs[i].size()});
+    if (!spans.empty()) {
+        inner_.writevQuiet(spans);
+        transactions += spans.size();
+    }
+    // The batch is the write-back unit: one barrier makes the landed
+    // rounds durable on media that defer quiet writes.
+    inner_.persistBarrier();
     dev.unlock();
 
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -219,6 +234,31 @@ WriteBehindNvm::readBytes(Addr addr, std::uint8_t *out,
 }
 
 void
+WriteBehindNvm::readv(const ReadSpan *spans, std::size_t n) const
+{
+    // One queue-lock hold resolves every span against the pending map;
+    // the misses go to the durable image as one inner vectored read.
+    std::vector<ReadSpan> misses;
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto it = pending_.find(spans[i].addr);
+            if (it != pending_.end() &&
+                it->second.entry->data.size() >= spans[i].len) {
+                std::memcpy(spans[i].data,
+                            it->second.entry->data.data(), spans[i].len);
+            } else {
+                misses.push_back(spans[i]);
+            }
+        }
+    }
+    if (misses.empty())
+        return;
+    std::shared_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.readv(misses.data(), misses.size());
+}
+
+void
 WriteBehindNvm::writeBytes(Addr addr, const std::uint8_t *in,
                            std::size_t len)
 {
@@ -236,6 +276,40 @@ WriteBehindNvm::writeBytesQuiet(Addr addr, const std::uint8_t *in,
     flushQueued();
     std::unique_lock<std::shared_mutex> dev(device_mutex_);
     inner_.writeBytesQuiet(addr, in, len);
+}
+
+void
+WriteBehindNvm::writev(const WriteSpan *spans, std::size_t n)
+{
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.writev(spans, n);
+}
+
+void
+WriteBehindNvm::writevQuiet(const WriteSpan *spans, std::size_t n)
+{
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.writevQuiet(spans, n);
+}
+
+void
+WriteBehindNvm::persistBarrier()
+{
+    flushQueued();
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.persistBarrier();
+}
+
+void
+WriteBehindNvm::dropVolatile()
+{
+    // Committed rounds still queued here are ADR-covered: the crash
+    // framework flushes them through the destructor path, so only the
+    // inner backend's cache is volatile state to discard.
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.dropVolatile();
 }
 
 Cycle

@@ -107,6 +107,23 @@ class WriteBehindNvm : public MemoryBackend
     void writeBytesQuiet(Addr addr, const std::uint8_t *in,
                          std::size_t len) override;
 
+    /**
+     * @{ Vectored ops: one queue-lock pass resolves the whole span list
+     * against the pending map (readv), and writes flush the queue once
+     * then land as one inner vectored call. persistBarrier() and
+     * dropVolatile() forward to the inner backend so a write-back
+     * medium underneath this decorator keeps its durability contract.
+     */
+    using MemoryBackend::readv;
+    using MemoryBackend::writev;
+    using MemoryBackend::writevQuiet;
+    void readv(const ReadSpan *spans, std::size_t n) const override;
+    void writev(const WriteSpan *spans, std::size_t n) override;
+    void writevQuiet(const WriteSpan *spans, std::size_t n) override;
+    void persistBarrier() override;
+    void dropVolatile() override;
+    /** @} */
+
     /** @{ Timing model: forwarded unlocked (drive thread only). */
     Cycle access(Addr addr, std::size_t len, bool is_write,
                  Cycle earliest) override;

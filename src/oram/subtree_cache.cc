@@ -84,6 +84,14 @@ SubtreeCache::read(BucketId bucket, std::vector<PlainBlock> &out) const
     return true;
 }
 
+bool
+SubtreeCache::contains(BucketId bucket) const
+{
+    const Stripe &stripe = stripeFor(bucket);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    return stripe.buckets.find(bucket) != stripe.buckets.end();
+}
+
 void
 SubtreeCache::update(BucketId bucket, const std::vector<PlainBlock> &slots)
 {

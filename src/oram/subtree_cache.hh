@@ -73,6 +73,14 @@ class SubtreeCache
     bool read(BucketId bucket, std::vector<PlainBlock> &out) const;
 
     /**
+     * Residency probe without copying or touching recency state —
+     * advisory only (the answer can change the moment the stripe lock
+     * drops). The vectored path fetch uses it to decide which buckets
+     * to include in the batched device read before pinning.
+     */
+    bool contains(BucketId bucket) const;
+
+    /**
      * Upsert a bucket's post-eviction contents. Preserves the pin
      * count of a resident entry; an absent bucket is inserted unpinned
      * (the durable copy is identical, so losing it to capacity

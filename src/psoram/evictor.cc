@@ -275,17 +275,30 @@ Evictor::run(AccessContext &ctx)
                                       env_.onChipRead(issue));
             issue = read_phase;
         }
+        // One vectored write per eviction round, split at the crash
+        // hook: the first half of the path is durable when the
+        // DuringDirectEviction site fires, exactly as it was with the
+        // per-entry loop (each span still reports its own DirectWrite
+        // boundary, in entry order). The accessOne schedule afterwards
+        // runs in the same entry order against the same channel state,
+        // so timing is unchanged.
+        const std::size_t half = sc.data_writes.size() / 2;
+        std::vector<WriteSpan> spans;
+        spans.reserve(sc.data_writes.size());
+        for (const WpqEntry &write : sc.data_writes)
+            spans.push_back({write.addr, write.data.data(),
+                             write.data.size()});
+        env_.device.writev(spans.data(), half);
+        if (half > 0)
+            env_.crashCheck(CrashSite::DuringDirectEviction);
+        env_.device.writev(spans.data() + half, spans.size() - half);
+
         Cycle proc = issue;
         Cycle done = issue;
-        std::size_t count = 0;
         for (const WpqEntry &write : sc.data_writes) {
             proc += env_.params.controller_block_cycles;
-            env_.device.writeBytes(write.addr, write.data.data(),
-                                   write.data.size());
             done = std::max(done, env_.device.accessOne(write.addr,
                                                         true, proc));
-            if (++count == sc.data_writes.size() / 2)
-                env_.crashCheck(CrashSite::DuringDirectEviction);
         }
         ctx.t = done;
         return;

@@ -12,6 +12,10 @@
 #ifndef PSORAM_PSORAM_PATH_LOADER_HH
 #define PSORAM_PSORAM_PATH_LOADER_HH
 
+#include <vector>
+
+#include "mem/backend.hh"
+#include "oram/block.hh"
 #include "psoram/access_context.hh"
 #include "psoram/phase_env.hh"
 
@@ -54,6 +58,13 @@ class PathLoader
                   LoadedSlot &slot_info);
 
     PhaseEnv &env_;
+
+    /** @{ run()'s vectored-read scratch (drive thread only — fetch()
+     *  is the concurrent entry point and uses locals instead). */
+    std::vector<Addr> slot_addrs_;
+    std::vector<SlotBytes> raw_;
+    std::vector<ReadSpan> spans_;
+    /** @} */
 };
 
 } // namespace psoram

@@ -66,6 +66,22 @@ configFromOverrides(const Config &overrides, DesignKind design)
         config.main_tech = NvmTech::STTRAM;
     else
         PSORAM_FATAL("unknown tech '", tech, "' (pcm|stt)");
+
+    const std::string backend = overrides.getString("backend", "memory");
+    if (backend == "memory")
+        config.backend = BackendKind::Memory;
+    else if (backend == "file")
+        config.backend = BackendKind::File;
+    else if (backend == "disk")
+        config.backend = BackendKind::Disk;
+    else
+        PSORAM_FATAL("unknown backend '", backend,
+                     "' (memory|file|disk)");
+    config.backing_file = overrides.getString("backingfile", "");
+    config.disk_cache_pages = static_cast<std::size_t>(
+        overrides.getUint("cachepages", config.disk_cache_pages));
+    config.disk_pinned_pages = static_cast<std::size_t>(
+        overrides.getUint("pinpages", config.disk_pinned_pages));
     return config;
 }
 

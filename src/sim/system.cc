@@ -4,6 +4,7 @@
 #include "common/log.hh"
 #include "nvm/device.hh"
 #include "nvm/file_backed.hh"
+#include "nvm/paged_disk.hh"
 #include "psoram/recovery.hh"
 
 namespace psoram {
@@ -18,6 +19,20 @@ alignUp(Addr addr)
 }
 
 } // namespace
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Memory:
+        return "memory";
+      case BackendKind::File:
+        return "file";
+      case BackendKind::Disk:
+        return "disk";
+    }
+    return "?";
+}
 
 PsOramParams
 systemParams(const SystemConfig &config)
@@ -121,14 +136,30 @@ buildSystem(const SystemConfig &config)
         system.params.data_layout.geometry.blocksPerPath() *
             kBlockDataBytes;
     const std::uint64_t capacity = alignUp(last) + (1ULL << 20);
-    if (!config.backing_file.empty())
+    switch (config.effectiveBackend()) {
+      case BackendKind::Disk: {
+        if (config.backing_file.empty())
+            PSORAM_FATAL("backend=disk needs a backing_file path");
+        PagedDiskConfig disk;
+        disk.path = config.backing_file;
+        disk.cache_pages = config.disk_cache_pages;
+        disk.pinned_pages = config.disk_pinned_pages;
+        system.device = std::make_unique<PagedDiskBackend>(
+            timingsFor(config.main_tech), config.channels,
+            config.banks_per_channel, capacity, std::move(disk));
+        break;
+      }
+      case BackendKind::File:
         system.device = std::make_unique<FileBackedNvm>(
             timingsFor(config.main_tech), config.channels,
             config.banks_per_channel, capacity, config.backing_file);
-    else
+        break;
+      case BackendKind::Memory:
         system.device = std::make_unique<NvmDevice>(
             timingsFor(config.main_tech), config.channels,
             config.banks_per_channel, capacity);
+        break;
+    }
     system.controller = std::make_unique<PsOramController>(
         system.params, *system.device);
     return system;
@@ -139,6 +170,12 @@ System::recoverController()
 {
     {
         const FaultInjector::ScopedSuspend suspend(fault_injector);
+        // Simulated power failure: any RAM cache in front of the
+        // durable medium is gone BEFORE the ADR flush and the retiring
+        // wrapper's teardown redeliver in-flight rounds — so those
+        // redeliveries land durably, and everything else the cache
+        // held un-flushed is genuinely lost to recovery.
+        device->dropVolatile();
         controller = RecoveryManager::recover(std::move(controller),
                                               *device);
     }

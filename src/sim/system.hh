@@ -20,6 +20,19 @@
 
 namespace psoram {
 
+/** Which concrete MemoryBackend buildSystem constructs. */
+enum class BackendKind
+{
+    /** In-memory NvmDevice (the default golden-digest model). */
+    Memory,
+    /** FileBackedNvm: in-memory model, image persisted at checkpoints. */
+    File,
+    /** PagedDiskBackend: out-of-core page-cached tree on a real file. */
+    Disk,
+};
+
+const char *backendName(BackendKind kind);
+
 struct SystemConfig
 {
     DesignKind design = DesignKind::PsOram;
@@ -71,11 +84,33 @@ struct SystemConfig
     bool disable_backup_blocks = false;
 
     /**
+     * Storage backend. For back-compat, Memory (the default) combined
+     * with a non-empty backing_file still builds FileBackedNvm, exactly
+     * as before the flag existed; Disk requires a backing_file.
+     */
+    BackendKind backend = BackendKind::Memory;
+
+    /**
      * Non-empty: back the NVM image with this file (FileBackedNvm), so
-     * the persistent state survives process restarts. Empty: in-memory
+     * the persistent state survives process restarts — or, with
+     * backend == Disk, the paged on-disk tree itself. Empty: in-memory
      * NvmDevice.
      */
     std::string backing_file;
+
+    /** @{ PagedDiskBackend tuning (backend == Disk only). */
+    std::size_t disk_cache_pages = 1024;
+    std::size_t disk_pinned_pages = 64;
+    /** @} */
+
+    /** The backend buildSystem will actually construct, with the
+     *  Memory+backing_file → File inference applied. */
+    BackendKind effectiveBackend() const
+    {
+        if (backend == BackendKind::Memory && !backing_file.empty())
+            return BackendKind::File;
+        return backend;
+    }
 };
 
 /** A wired device + controller pair. */

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The vectored seam contract (mem/backend.hh): the default readv/writev
+ * forwarding is byte- and boundary-equivalent to scalar loops, noisy
+ * batches keep per-span persist-boundary granularity, and the
+ * write-behind decorator resolves whole span lists against its pending
+ * rounds in one pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/backend.hh"
+#include "nvm/device.hh"
+#include "nvm/fault_injector.hh"
+#include "nvm/wpq.hh"
+#include "nvm/write_behind.hh"
+
+namespace psoram {
+namespace {
+
+constexpr std::uint64_t kCapacity = 1ULL << 20;
+
+std::vector<std::uint8_t>
+pattern(std::size_t len, std::uint8_t salt)
+{
+    std::vector<std::uint8_t> bytes(len);
+    for (std::size_t i = 0; i < len; ++i)
+        bytes[i] = static_cast<std::uint8_t>(salt + i * 7);
+    return bytes;
+}
+
+TEST(VectoredIo, DefaultForwardingMatchesScalarOps)
+{
+    NvmDevice vectored(pcmTimings(), 1, 8, kCapacity);
+    NvmDevice scalar(pcmTimings(), 1, 8, kCapacity);
+
+    const auto a = pattern(96, 1);
+    const auto b = pattern(64, 2);
+    const auto c = pattern(200, 3);
+    const std::vector<WriteSpan> writes{
+        {0, a.data(), a.size()},
+        {4096, b.data(), b.size()},
+        {70000, c.data(), c.size()},
+    };
+    vectored.writev(writes);
+    for (const WriteSpan &span : writes)
+        scalar.writeBytes(span.addr, span.data, span.len);
+
+    std::vector<std::uint8_t> got_a(96), got_b(64), got_c(200);
+    const std::vector<ReadSpan> reads{
+        {0, got_a.data(), got_a.size()},
+        {4096, got_b.data(), got_b.size()},
+        {70000, got_c.data(), got_c.size()},
+    };
+    vectored.readv(reads);
+    EXPECT_EQ(got_a, a);
+    EXPECT_EQ(got_b, b);
+    EXPECT_EQ(got_c, c);
+
+    // Same functional image either way.
+    EXPECT_EQ(vectored.image(), scalar.image());
+}
+
+TEST(VectoredIo, NoisyWritevReportsOneBoundaryPerSpan)
+{
+    NvmDevice device(pcmTimings(), 1, 8, kCapacity);
+    FaultInjector injector;
+    device.setFaultInjector(&injector);
+
+    const auto payload = pattern(64, 9);
+    const std::vector<WriteSpan> spans{
+        {0, payload.data(), payload.size()},
+        {128, payload.data(), payload.size()},
+        {256, payload.data(), payload.size()},
+    };
+    device.writev(spans);
+    EXPECT_EQ(injector.boundariesSeen(), 3u);
+    EXPECT_EQ(injector.kindCount(PersistBoundary::DirectWrite), 3u);
+
+    {
+        const FaultInjector::ScopedDrain drain(&injector);
+        device.writev(spans);
+    }
+    EXPECT_EQ(injector.kindCount(PersistBoundary::DrainWrite), 3u);
+
+    // Quiet batches are not enumerable crash points.
+    const std::uint64_t before = injector.boundariesSeen();
+    device.writevQuiet(spans);
+    EXPECT_EQ(injector.boundariesSeen(), before);
+}
+
+TEST(VectoredIo, FaultMidWritevAppliesEarlierSpansOnly)
+{
+    NvmDevice device(pcmTimings(), 1, 8, kCapacity);
+    FaultInjector injector;
+    device.setFaultInjector(&injector);
+    injector.armAt(2); // second span's boundary fires before its write
+
+    const auto payload = pattern(64, 5);
+    const std::vector<WriteSpan> spans{
+        {0, payload.data(), payload.size()},
+        {128, payload.data(), payload.size()},
+        {256, payload.data(), payload.size()},
+    };
+    EXPECT_THROW(device.writev(spans), InjectedFault);
+
+    std::vector<std::uint8_t> got(64);
+    device.readBytes(0, got.data(), got.size());
+    EXPECT_EQ(got, payload) << "span before the fault must be applied";
+    device.readBytes(128, got.data(), got.size());
+    EXPECT_EQ(got, std::vector<std::uint8_t>(64, 0))
+        << "faulting span must not be applied";
+    device.readBytes(256, got.data(), got.size());
+    EXPECT_EQ(got, std::vector<std::uint8_t>(64, 0))
+        << "span after the fault must not be applied";
+}
+
+TEST(VectoredIo, WriteBehindReadvResolvesPendingRounds)
+{
+    NvmDevice inner(pcmTimings(), 1, 8, kCapacity);
+    const auto durable = pattern(64, 40);
+    inner.writeBytes(1024, durable.data(), durable.size());
+
+    WriteBehindNvm device(inner, 8);
+    const auto queued = pattern(96, 41);
+    WpqEntry entry;
+    entry.addr = 0;
+    entry.data.assign(queued.begin(), queued.end());
+    std::vector<WpqEntry> round;
+    round.push_back(entry);
+    device.submitRound(std::move(round));
+
+    // One readv mixing a pending hit (addr 0, still unretired) with an
+    // inner-device miss (addr 1024).
+    std::vector<std::uint8_t> got_pending(96), got_inner(64);
+    const std::vector<ReadSpan> spans{
+        {0, got_pending.data(), got_pending.size()},
+        {1024, got_inner.data(), got_inner.size()},
+    };
+    device.readv(spans);
+    EXPECT_EQ(got_pending, queued) << "read-your-writes across readv";
+    EXPECT_EQ(got_inner, durable);
+
+    device.flushQueued();
+    std::vector<std::uint8_t> retired(96);
+    inner.readBytes(0, retired.data(), retired.size());
+    EXPECT_EQ(retired, queued);
+    EXPECT_GE(device.roundsRetired(), 1u);
+}
+
+TEST(VectoredIo, WriteBehindWritevFlushesQueueFirst)
+{
+    NvmDevice inner(pcmTimings(), 1, 8, kCapacity);
+    WriteBehindNvm device(inner, 8);
+
+    const auto queued = pattern(96, 50);
+    WpqEntry entry;
+    entry.addr = 512;
+    entry.data.assign(queued.begin(), queued.end());
+    std::vector<WpqEntry> round;
+    round.push_back(entry);
+    device.submitRound(std::move(round));
+
+    // A direct vectored write to the same address must order after the
+    // queued round (program order), not under it.
+    const auto direct = pattern(96, 51);
+    const std::vector<WriteSpan> spans{{512, direct.data(), direct.size()}};
+    device.writev(spans);
+
+    std::vector<std::uint8_t> got(96);
+    inner.readBytes(512, got.data(), got.size());
+    EXPECT_EQ(got, direct);
+}
+
+} // namespace
+} // namespace psoram

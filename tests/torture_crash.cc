@@ -94,8 +94,8 @@ struct TortureCase
         out << designName(system.design) << " height "
             << system.tree_height << " blocks " << system.num_blocks
             << " wpq " << system.wpq_entries << " shards " << num_shards
-            << " depth " << system.pipeline_depth
-            << (system.backing_file.empty() ? "" : " file-backed")
+            << " depth " << system.pipeline_depth << " backend "
+            << backendName(system.effectiveBackend())
             << " ops " << trace_ops << " wf " << write_fraction
             << " trace-seed " << trace_seed << " armed-at "
             << armed_boundary;
@@ -153,11 +153,23 @@ drawCase(Rng &rng, std::uint64_t iteration)
             depths[rng.nextBelow(3)];
     }
 
-    // Occasional file-backed image (sharded builds derive one file per
-    // shard from the base name).
-    if (rng.nextBelow(8) == 0)
+    // Occasional non-memory backend: a flat file-backed image, or the
+    // out-of-core paged disk tree behind a small write-back page cache.
+    // Disk fault injection is only supported on the synchronous access
+    // path, so a disk draw forces pipeline depth 1 (DESIGN.md §14).
+    const unsigned backend_roll =
+        static_cast<unsigned>(rng.nextBelow(8));
+    if (backend_roll == 0) {
         tc.system.backing_file =
             "torture_nvm_" + std::to_string(iteration) + ".img";
+    } else if (backend_roll == 1) {
+        tc.system.backend = BackendKind::Disk;
+        tc.system.backing_file =
+            "torture_disk_" + std::to_string(iteration) + ".tree";
+        tc.system.disk_cache_pages = 16 + rng.nextBelow(49);
+        tc.system.disk_pinned_pages = rng.nextBelow(5);
+        tc.system.pipeline_depth = 1;
+    }
 
     tc.trace_ops = 48 + rng.nextBelow(81);
     const double wfs[] = {0.5, 0.6, 0.8};
