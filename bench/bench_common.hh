@@ -356,6 +356,10 @@ parseContext(int argc, char **argv)
     const std::string backend_flag = flagValue(argc, argv, "--backend");
     if (!backend_flag.empty())
         ctx.overrides.set("backend", backend_flag);
+    const std::string integrity_flag =
+        flagValue(argc, argv, "--integrity");
+    if (!integrity_flag.empty())
+        ctx.overrides.set("integrity", integrity_flag);
     ctx.backend = ctx.overrides.getString("backend", "memory");
     ctx.backing_file = ctx.overrides.getString("backingfile", "");
     if (ctx.backend != "memory" && ctx.backing_file.empty()) {
@@ -388,6 +392,7 @@ addSystemMeta(JsonReport &report, const SystemConfig &config)
 {
     const PipelineParams defaults;
     report.meta("backend", backendName(config.effectiveBackend()));
+    report.meta("integrity", integrityModeName(config.integrity));
     if (config.effectiveBackend() == BackendKind::Disk)
         report.metaCount("disk_cache_pages", config.disk_cache_pages)
             .metaCount("disk_pinned_pages", config.disk_pinned_pages);

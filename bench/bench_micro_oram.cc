@@ -20,6 +20,14 @@
  * first as the baseline) and the curve is written to the JSON file
  * (BENCH_pipeline.json) with per-depth speedup_vs_depth1.
  *
+ * "--integrity-curve [off,mac,tree]" (with --json) runs the
+ * authenticated-record overhead mode instead: the PS-ORAM design is
+ * measured at each integrity level (off is always measured first as
+ * the baseline) and the curve is written to the JSON file
+ * (BENCH_integrity.json) with per-mode overhead_vs_off. A bare
+ * "--integrity MODE" on any other mode simply rides along as the
+ * integrity= override (persistent non-recursive designs only).
+ *
  * "--disk-curve P[,P...]" (with --json) runs the out-of-core mode: the
  * PS-ORAM design on the PagedDiskBackend at each listed page-cache size
  * (BENCH_disk.json), reporting throughput plus the backend's physical
@@ -125,6 +133,30 @@ BM_DrainerPersist(benchmark::State &state)
 }
 BENCHMARK(BM_DrainerPersist)->Arg(24)->Arg(96);
 
+/** Split a comma list of integrity mode names ("off,mac,tree");
+ *  empty tokens are skipped, validation happens at parse time in the
+ *  curve runner. A key=value operand (the flag was bare and swallowed
+ *  the next override) yields the empty list, i.e. the default sweep. */
+std::vector<std::string>
+parseModeList(const std::string &value)
+{
+    std::vector<std::string> modes;
+    if (value.find('=') != std::string::npos)
+        return modes;
+    std::string token;
+    for (std::size_t i = 0; i <= value.size(); ++i) {
+        if (i < value.size() && value[i] != ',') {
+            token += value[i];
+            continue;
+        }
+        if (!token.empty()) {
+            modes.push_back(token);
+            token.clear();
+        }
+    }
+    return modes;
+}
+
 /**
  * Regression-harness mode: host throughput of the full access loop per
  * design on the Table-3 default configuration, written as JSON.
@@ -157,8 +189,16 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
     std::deque<StatGroup> groups;
 
     for (const DesignKind design : allDesigns()) {
-        systems.push_back(
-            buildSystem(configFromOverrides(ctx.overrides, design)));
+        SystemConfig config = configFromOverrides(ctx.overrides, design);
+        // An integrity= override applies only where the layer exists:
+        // persistent non-recursive designs with a synchronous drive
+        // thread (buildSystem rejects anything else).
+        const DesignOptions opts = designOptions(design);
+        if (opts.persist == PersistMode::None || opts.recursive_posmap)
+            config.integrity = IntegrityMode::Off;
+        if (config.integrity != IntegrityMode::Off)
+            config.pipeline_depth = 1;
+        systems.push_back(buildSystem(config));
         System &system = systems.back();
         groups.emplace_back(std::string("micro.") + designName(design));
         system.controller->registerStats(groups.back());
@@ -201,6 +241,7 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
             system.controller->phaseHostNs();
         report.addRow()
             .str("design", designName(design))
+            .str("integrity", integrityModeName(config.integrity))
             .count("accesses", accesses)
             .num("seconds", elapsed)
             .num("accesses_per_sec",
@@ -244,6 +285,112 @@ runJsonMode(const psoram::bench::BenchContext &ctx)
     obs::MetricsExporter::global().removeAllGroups();
     obs::MetricsExporter::dumpAtExit("");
     psoram::bench::traceDumpPath().clear();
+
+    return report.writeTo(ctx.json_path) ? 0 : 1;
+}
+
+/**
+ * Authenticated-record overhead mode: the PS-ORAM design measured at
+ * each integrity level (BENCH_integrity.json). Mode "off" — plain
+ * 96-byte records, no GMAC, no Merkle streaming — is always measured
+ * first and anchors overhead_vs_off (ns/access ratio). All cells run
+ * at pipeline depth 1 so the off row pays the same synchronous drive
+ * path the authenticated rows are restricted to.
+ */
+int
+runIntegrityJsonMode(const psoram::bench::BenchContext &ctx,
+                     std::vector<std::string> modes)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t target =
+        ctx.overrides.getUint("accesses", 20'000);
+    const double max_seconds =
+        ctx.overrides.getDouble("maxseconds", 2.0);
+
+    if (modes.empty())
+        modes = {"off", "mac", "tree"};
+    if (modes.front() != "off")
+        modes.insert(modes.begin(), "off");
+
+    const SystemConfig banner =
+        configFromOverrides(ctx.overrides, DesignKind::PsOram);
+    psoram::bench::JsonReport report("integrity_overhead");
+    report.metaCount("tree_height", banner.tree_height)
+        .metaCount("bucket_slots", banner.bucket_slots)
+        .metaCount("stash_capacity", banner.stash_capacity)
+        .metaCount("wpq_entries", banner.wpq_entries)
+        .meta("cipher", banner.cipher == CipherKind::Aes128Ctr
+                  ? "aes" : "fast")
+        .metaCount("seed", banner.seed)
+        .metaCount("target_accesses", target);
+    psoram::bench::addSystemMeta(report, banner);
+
+    double off_ns = 0.0;
+    for (const std::string &mode : modes) {
+        SystemConfig config =
+            configFromOverrides(ctx.overrides, DesignKind::PsOram);
+        if (!parseIntegrityMode(mode, config.integrity)) {
+            std::cerr << "unknown integrity mode '" << mode
+                      << "' (want off|mac|tree)\n";
+            return 1;
+        }
+        config.pipeline_depth = 1;
+        System system = buildSystem(config);
+        FaultInjector injector;
+        system.attachFaultInjector(&injector);
+
+        std::uint8_t buf[kBlockDataBytes] = {};
+        BlockAddr addr = 0;
+        const auto step = [&] {
+            const OramAccessInfo info =
+                system.controller->write(addr, buf);
+            addr = (addr + 97) % system.params.num_blocks;
+            return info.nvm_cycles;
+        };
+        for (unsigned i = 0; i < 512; ++i)
+            step(); // warm the tree and the stash
+        injector.reset();
+
+        std::uint64_t accesses = 0;
+        std::uint64_t sim_cycles = 0;
+        const auto t0 = Clock::now();
+        double elapsed = 0.0;
+        while (accesses < target && elapsed < max_seconds) {
+            for (unsigned i = 0; i < 512; ++i)
+                sim_cycles += step();
+            accesses += 512;
+            elapsed = std::chrono::duration<double>(Clock::now() - t0)
+                          .count();
+        }
+
+        const double ns_per_access =
+            elapsed * 1e9 / static_cast<double>(accesses);
+        if (config.integrity == IntegrityMode::Off)
+            off_ns = ns_per_access;
+        report.addRow()
+            .str("integrity", integrityModeName(config.integrity))
+            .count("record_bytes", system.params.data_layout.record_bytes)
+            .count("accesses", accesses)
+            .num("seconds", elapsed)
+            .num("accesses_per_sec",
+                 static_cast<double>(accesses) / elapsed)
+            .num("ns_per_access", ns_per_access)
+            .num("overhead_vs_off",
+                 off_ns > 0.0 ? ns_per_access / off_ns : 1.0)
+            .num("sim_nvm_cycles_per_access",
+                 static_cast<double>(sim_cycles) /
+                     static_cast<double>(accesses))
+            .num("persist_boundaries_per_access",
+                 static_cast<double>(injector.boundariesSeen()) /
+                     static_cast<double>(accesses));
+        std::cout << "integrity " << integrityModeName(config.integrity)
+                  << ": "
+                  << static_cast<std::uint64_t>(
+                         static_cast<double>(accesses) / elapsed)
+                  << " accesses/sec (x"
+                  << (off_ns > 0.0 ? ns_per_access / off_ns : 1.0)
+                  << " vs off)\n";
+    }
 
     return report.writeTo(ctx.json_path) ? 0 : 1;
 }
@@ -535,9 +682,18 @@ main(int argc, char **argv)
     bool disk_mode = !disk_flag.empty();
     for (int i = 1; !disk_mode && i < argc; ++i)
         disk_mode = std::string(argv[i]).rfind("--disk-curve", 0) == 0;
+    const std::string integrity_curve_flag =
+        psoram::bench::flagValue(argc, argv, "--integrity-curve");
+    bool integrity_mode = false;
+    for (int i = 1; !integrity_mode && i < argc; ++i)
+        integrity_mode =
+            std::string(argv[i]).rfind("--integrity-curve", 0) == 0;
     if (!ctx.json_path.empty() && disk_mode)
         return runDiskJsonMode(
             ctx, psoram::bench::parseDepthList(disk_flag));
+    if (!ctx.json_path.empty() && integrity_mode)
+        return runIntegrityJsonMode(
+            ctx, parseModeList(integrity_curve_flag));
     if (!ctx.json_path.empty() && !depth_flag.empty())
         return runPipelineJsonMode(
             ctx, psoram::bench::parseDepthList(depth_flag));
@@ -553,6 +709,7 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--trace" || arg == "--metrics" ||
             arg == "--pipeline-depth" || arg == "--disk-curve" ||
+            arg == "--integrity-curve" || arg == "--integrity" ||
             arg == "--backend") {
             ++i; // skip the operand too
             continue;
@@ -561,6 +718,8 @@ main(int argc, char **argv)
             arg.rfind("--metrics=", 0) == 0 ||
             arg.rfind("--pipeline-depth=", 0) == 0 ||
             arg.rfind("--disk-curve=", 0) == 0 ||
+            arg.rfind("--integrity-curve=", 0) == 0 ||
+            arg.rfind("--integrity=", 0) == 0 ||
             arg.rfind("--backend=", 0) == 0)
             continue;
         if (i == 0 || argv[i][0] == '-')

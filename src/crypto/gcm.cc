@@ -1,0 +1,159 @@
+#include "crypto/gcm.hh"
+
+#include <cstring>
+
+namespace psoram {
+
+namespace {
+
+Gcm::Tag
+toTag(std::uint64_t hi, std::uint64_t lo)
+{
+    Gcm::Tag tag;
+    for (unsigned i = 0; i < 8; ++i) {
+        tag[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+        tag[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    }
+    return tag;
+}
+
+std::uint64_t
+loadBe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+Gcm::Gcm(const Aes128::Key &key) : aes_(key)
+{
+    Aes128::Block zero{};
+    aes_.encryptBlock(zero);
+    h_.hi = loadBe64(zero.data());
+    h_.lo = loadBe64(zero.data() + 8);
+}
+
+Gcm::U128
+Gcm::gfMul(const U128 &x, const U128 &y)
+{
+    // Shift-and-add multiply in GF(2^128) with the GCM bit order
+    // (bit 0 = MSB of byte 0) and reduction polynomial R = 0xE1 << 120.
+    U128 z;
+    U128 v = y;
+    for (unsigned i = 0; i < 128; ++i) {
+        const std::uint64_t bit =
+            i < 64 ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+        if (bit) {
+            z.hi ^= v.hi;
+            z.lo ^= v.lo;
+        }
+        const std::uint64_t lsb = v.lo & 1;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ULL;
+    }
+    return z;
+}
+
+Gcm::U128
+Gcm::ghash(const std::uint8_t *aad, std::size_t aad_len,
+           const std::uint8_t *payload, std::size_t payload_len) const
+{
+    U128 y;
+    const auto absorb = [&](const std::uint8_t *data, std::size_t len) {
+        while (len != 0) {
+            std::uint8_t block[16] = {};
+            const std::size_t take = len < 16 ? len : 16;
+            std::memcpy(block, data, take);
+            y.hi ^= loadBe64(block);
+            y.lo ^= loadBe64(block + 8);
+            y = gfMul(y, h_);
+            data += take;
+            len -= take;
+        }
+    };
+    absorb(aad, aad_len);
+    absorb(payload, payload_len);
+
+    y.hi ^= static_cast<std::uint64_t>(aad_len) * 8;
+    y.lo ^= static_cast<std::uint64_t>(payload_len) * 8;
+    return gfMul(y, h_);
+}
+
+void
+Gcm::ctr(const Iv &iv, const std::uint8_t *in, std::uint8_t *out,
+         std::size_t len) const
+{
+    std::uint32_t counter = 2; // inc32(J0) with a 96-bit IV
+    std::size_t off = 0;
+    while (off < len) {
+        Aes128::Block block;
+        std::memcpy(block.data(), iv.data(), kIvBytes);
+        block[12] = static_cast<std::uint8_t>(counter >> 24);
+        block[13] = static_cast<std::uint8_t>(counter >> 16);
+        block[14] = static_cast<std::uint8_t>(counter >> 8);
+        block[15] = static_cast<std::uint8_t>(counter);
+        aes_.encryptBlock(block);
+        const std::size_t take =
+            len - off < Aes128::kBlockBytes ? len - off
+                                            : Aes128::kBlockBytes;
+        for (std::size_t i = 0; i < take; ++i)
+            out[off + i] = in[off + i] ^ block[i];
+        off += take;
+        ++counter;
+    }
+}
+
+Gcm::Tag
+Gcm::tagFor(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+            const std::uint8_t *ct, std::size_t len) const
+{
+    const U128 s = ghash(aad, aad_len, ct, len);
+    Aes128::Block j0;
+    std::memcpy(j0.data(), iv.data(), kIvBytes);
+    j0[12] = j0[13] = j0[14] = 0;
+    j0[15] = 1;
+    aes_.encryptBlock(j0);
+    return toTag(s.hi ^ loadBe64(j0.data()),
+                 s.lo ^ loadBe64(j0.data() + 8));
+}
+
+Gcm::Tag
+Gcm::seal(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+          const std::uint8_t *pt, std::uint8_t *ct, std::size_t len) const
+{
+    ctr(iv, pt, ct, len);
+    return tagFor(iv, aad, aad_len, ct, len);
+}
+
+bool
+Gcm::open(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+          const std::uint8_t *ct, std::uint8_t *pt, std::size_t len,
+          const Tag &tag) const
+{
+    if (!tagsEqual(tagFor(iv, aad, aad_len, ct, len), tag))
+        return false;
+    ctr(iv, ct, pt, len);
+    return true;
+}
+
+Gcm::Tag
+Gcm::mac(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len) const
+{
+    return tagFor(iv, aad, aad_len, nullptr, 0);
+}
+
+bool
+Gcm::tagsEqual(const Tag &a, const Tag &b)
+{
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < kTagBytes; ++i)
+        diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+} // namespace psoram

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AES-128-GCM (NIST SP 800-38D) over the existing AES-128 backends.
+ *
+ * GHASH is a software carry-less GF(2^128) multiply, so the tag bytes
+ * are identical on the AES-NI and scalar AES paths (the KATs cover
+ * both). The integrity subsystem uses the GMAC form — authentication
+ * over AAD only — to tag bucket records that the slot codec already
+ * CTR-encrypts; full seal/open is provided for completeness and for
+ * the NIST known-answer tests.
+ *
+ * IV discipline: GCM's security collapses under a repeated (key, IV)
+ * pair. Callers must derive the 96-bit IV from a value that never
+ * repeats for the key — the integrity layer uses its monotonically
+ * increasing record version counter, resumed past the persisted
+ * watermark at recovery (oram/integrity.hh).
+ */
+
+#ifndef PSORAM_CRYPTO_GCM_HH
+#define PSORAM_CRYPTO_GCM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes128.hh"
+
+namespace psoram {
+
+class Gcm
+{
+  public:
+    static constexpr std::size_t kTagBytes = 16;
+    static constexpr std::size_t kIvBytes = 12;
+
+    using Tag = std::array<std::uint8_t, kTagBytes>;
+    using Iv = std::array<std::uint8_t, kIvBytes>;
+
+    explicit Gcm(const Aes128::Key &key);
+
+    /**
+     * Authenticated encryption: CTR-encrypt @p len bytes of @p pt into
+     * @p ct (the buffers may alias) and return the tag over @p aad and
+     * the ciphertext.
+     */
+    Tag seal(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+             const std::uint8_t *pt, std::uint8_t *ct,
+             std::size_t len) const;
+
+    /**
+     * Verify-then-decrypt. The tag comparison runs before any
+     * plaintext is produced; on mismatch @p pt is left untouched.
+     * @return false on tag mismatch
+     */
+    bool open(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+              const std::uint8_t *ct, std::uint8_t *pt, std::size_t len,
+              const Tag &tag) const;
+
+    /** GMAC: the GCM tag over AAD only (no payload). */
+    Tag mac(const Iv &iv, const std::uint8_t *aad,
+            std::size_t aad_len) const;
+
+    /** Constant-time tag comparison. */
+    static bool tagsEqual(const Tag &a, const Tag &b);
+
+  private:
+    struct U128
+    {
+        std::uint64_t hi = 0;
+        std::uint64_t lo = 0;
+    };
+
+    static U128 gfMul(const U128 &x, const U128 &y);
+
+    /** GHASH over aad-blocks || payload-blocks || length block. */
+    U128 ghash(const std::uint8_t *aad, std::size_t aad_len,
+               const std::uint8_t *payload, std::size_t payload_len) const;
+
+    /** Tag = GHASH(...) xor E_K(J0), J0 = IV || 0^31 || 1. */
+    Tag tagFor(const Iv &iv, const std::uint8_t *aad, std::size_t aad_len,
+               const std::uint8_t *ct, std::size_t len) const;
+
+    /** CTR keystream application starting at inc32(J0). */
+    void ctr(const Iv &iv, const std::uint8_t *in, std::uint8_t *out,
+             std::size_t len) const;
+
+    Aes128 aes_;
+    U128 h_; // GHASH subkey E_K(0^128)
+};
+
+} // namespace psoram
+
+#endif // PSORAM_CRYPTO_GCM_HH

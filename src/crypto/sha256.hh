@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) for the integrity subsystem's Merkle tree.
+ *
+ * The Merkle tree hashes persisted bucket records, so the hash must be
+ * deterministic across builds and safe to compute over attacker-visible
+ * data (unlike a keyed GHASH, whose key would leak from known
+ * plaintext/tag pairs if it were used as an unkeyed hash). Plain
+ * portable implementation; the integrity tree hashes a handful of
+ * 32-160 byte nodes per eviction, so this is nowhere near a hot path.
+ */
+
+#ifndef PSORAM_CRYPTO_SHA256_HH
+#define PSORAM_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace psoram {
+
+class Sha256
+{
+  public:
+    static constexpr std::size_t kDigestBytes = 32;
+    using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+    Sha256() { reset(); }
+
+    /** Back to the initial state (reusable across messages). */
+    void reset();
+
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Finish the message and return the digest (call reset() to reuse). */
+    Digest finish();
+
+    /** One-shot convenience. */
+    static Digest
+    digest(const std::uint8_t *data, std::size_t len)
+    {
+        Sha256 h;
+        h.update(data, len);
+        return h.finish();
+    }
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t total_len_ = 0;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_CRYPTO_SHA256_HH

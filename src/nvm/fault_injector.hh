@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -99,6 +100,8 @@ class FaultInjector
             return;
         ++count_;
         ++kind_counts_[static_cast<std::size_t>(kind)];
+        if (observer_)
+            observer_(kind, count_);
         if (armed_ && count_ == target_) {
             armed_ = false;
             fired_ = true;
@@ -142,6 +145,22 @@ class FaultInjector
     kindCount(PersistBoundary kind) const
     {
         return kind_counts_[static_cast<std::size_t>(kind)];
+    }
+
+    /**
+     * Boundary observer: called for every counted boundary, after the
+     * count advances and *before* an armed fault throws — so an
+     * observer armed at the same index as the fault mutates durable
+     * state at exactly the crash point. The tamper-injection framework
+     * (sim/tamper_injector.hh) is the intended client. Survives
+     * reset(); pass an empty function to detach.
+     */
+    using Observer =
+        std::function<void(PersistBoundary, std::uint64_t)>;
+
+    void setObserver(Observer observer)
+    {
+        observer_ = std::move(observer);
     }
 
     /** @{ Drain bracket: writes issued inside count as DrainWrite. */
@@ -200,6 +219,7 @@ class FaultInjector
     std::uint64_t fired_index_ = 0;
     unsigned drain_depth_ = 0;
     unsigned suspended_ = 0;
+    Observer observer_;
     std::array<std::uint64_t, kNumPersistBoundaryKinds> kind_counts_{};
 };
 

@@ -31,10 +31,11 @@ namespace psoram {
 
 /**
  * Inline payload capacity of one WPQ entry. The largest thing ever
- * queued is an encrypted tree slot (kSlotBytes = 96); PosMap records
- * and shadow headers are smaller.
+ * queued is an authenticated tree record (kSlotBytes = 96 of slot
+ * ciphertext plus the 32-byte integrity trailer — tag and version,
+ * oram/integrity.hh); PosMap records and shadow headers are smaller.
  */
-inline constexpr std::size_t kWpqEntryBytes = 96;
+inline constexpr std::size_t kWpqEntryBytes = 128;
 
 /**
  * Fixed-capacity inline byte buffer with the slice of the std::vector

@@ -90,6 +90,22 @@ class BlockCodec
     /** Number of encodes performed (== IVs consumed). */
     std::uint64_t encodeCount() const { return next_iv_; }
 
+    /** The IV1 the next encode will consume. */
+    std::uint64_t nextIv() const { return next_iv_; }
+
+    /**
+     * Recovery resume: make sure no future encode reuses an IV at or
+     * below @p floor (the watermark the integrity root record
+     * persisted). A fresh controller restarting at IV 1 over a
+     * populated tree would otherwise repeat CTR keystreams.
+     */
+    void
+    resumeIvsAfter(std::uint64_t floor)
+    {
+        if (next_iv_ <= floor)
+            next_iv_ = floor + 1;
+    }
+
   private:
     void applyStream(std::uint64_t iv, std::uint8_t *data,
                      std::size_t len) const;

@@ -68,23 +68,39 @@ struct TreeGeometry
 /**
  * Physical placement of a tree in the NVM address space: bucket slots are
  * fixed-size records starting at @p base.
+ *
+ * A record holds the kSlotBytes encrypted slot first; record_bytes >
+ * kSlotBytes reserves a per-record trailer after it (the integrity
+ * subsystem stores a MAC tag + version there, oram/integrity.hh). The
+ * default keeps the record exactly one slot, so every integrity-off
+ * layout stays byte-identical to the historical one.
  */
 struct TreeLayout
 {
     TreeGeometry geometry;
     Addr base = 0;
+    std::uint64_t record_bytes = kSlotBytes;
 
     std::uint64_t footprintBytes() const
     {
-        return geometry.numSlots() * kSlotBytes;
+        return geometry.numSlots() * record_bytes;
     }
 
-    /** NVM byte address of (bucket, slot). */
+    /** NVM byte address of (bucket, slot) — the slot ciphertext sits at
+     *  the start of the record, so readers of kSlotBytes at this
+     *  address are layout-agnostic. */
     Addr
     slotAddr(BucketId bucket, unsigned slot) const
     {
         return base +
-               (bucket * geometry.bucket_slots + slot) * kSlotBytes;
+               (bucket * geometry.bucket_slots + slot) * record_bytes;
+    }
+
+    /** Record index of (bucket, slot) in the flat record array. */
+    std::uint64_t
+    recordIndex(BucketId bucket, unsigned slot) const
+    {
+        return bucket * geometry.bucket_slots + slot;
     }
 };
 

@@ -31,8 +31,11 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
         }
         first_round = false;
 
-        // Step 5-B: "start" opens both queues; entries stream in.
+        // Step 5-B: "start" opens both queues; entries stream in. With
+        // a finalizer one PosMap slot stays reserved for its entry.
         adr_.start();
+        const std::size_t pos_reserve = finalizer_ ? 1 : 0;
+        const std::size_t round_first_data = data_idx;
         std::size_t in_round = 0;
         while (data_idx < bundle.data_writes.size() &&
                !adr_.dataWpq().full()) {
@@ -44,15 +47,28 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
         // the data it describes — never an earlier one (rule 2).
         while (pos_idx < bundle.posmap_writes.size() &&
                bundle.posmap_writes[pos_idx].after_data <= data_idx &&
-               !adr_.posmapWpq().full()) {
+               adr_.posmapWpq().size() + pos_reserve <
+                   adr_.posmapWpq().capacity()) {
             adr_.posmapWpq().push(bundle.posmap_writes[pos_idx].entry);
             ++pos_idx;
             ++in_round;
         }
+        // Progress is measured on the *bundle* alone — a finalizer
+        // entry rides every round, so counting it would let an
+        // undrainable bundle spin forever.
         if (in_round == 0)
             PSORAM_PANIC("drainer made no progress (capacities ",
                          adr_.dataWpq().capacity(), "/",
                          adr_.posmapWpq().capacity(), ")");
+
+        if (finalizer_) {
+            if (!adr_.posmapWpq().push(finalizer_(
+                    bundle.data_writes.data() + round_first_data,
+                    data_idx - round_first_data)))
+                PSORAM_PANIC("no PosMap WPQ slot for the round "
+                             "finalizer entry despite the reserve");
+            ++in_round;
+        }
 
         if (hook)
             hook(CrashSite::BeforeCommit);

@@ -62,6 +62,19 @@ using DrainCrashHook = std::function<void(CrashSite)>;
  */
 using RoundSink = std::function<void(std::vector<WpqEntry> &&)>;
 
+/**
+ * Per-round finalizer: invoked once per WPQ round after every entry of
+ * the round is staged and immediately before the "end" commit. It
+ * receives the data entries of exactly this round and returns one
+ * extra entry pushed last into the PosMap WPQ — inside the same ADR
+ * bracket, so it commits atomically with the round it covers. The
+ * integrity subsystem uses this for its per-round root record
+ * (oram/integrity.hh). When set, persist() reserves one PosMap slot
+ * per round for the returned entry.
+ */
+using RoundFinalizer =
+    std::function<WpqEntry(const WpqEntry *round_data, std::size_t n)>;
+
 class Drainer
 {
   public:
@@ -93,6 +106,15 @@ class Drainer
     void setRoundSink(RoundSink sink) { sink_ = std::move(sink); }
     bool asyncDrain() const { return static_cast<bool>(sink_); }
 
+    /**
+     * Append a finalizer entry to every round (see RoundFinalizer).
+     * @pre the PosMap WPQ capacity is at least 2 (one slot is reserved)
+     */
+    void setRoundFinalizer(RoundFinalizer finalizer)
+    {
+        finalizer_ = std::move(finalizer);
+    }
+
     std::uint64_t roundsIssued() const { return rounds_.value(); }
     std::uint64_t entriesPersisted() const { return entries_.value(); }
     std::uint64_t splitEvictions() const { return splits_.value(); }
@@ -100,6 +122,7 @@ class Drainer
   private:
     AdrDomain adr_;
     RoundSink sink_;
+    RoundFinalizer finalizer_;
     Counter rounds_;
     Counter entries_;
     Counter splits_;

@@ -4,12 +4,15 @@
 
 #include "obs/trace.hh"
 #include "oram/controller.hh"
+#include "oram/integrity.hh"
 #include "oram/subtree_cache.hh"
 
 namespace psoram {
 
 static_assert(kSlotBytes <= kWpqEntryBytes,
               "encrypted tree slots must fit a WPQ entry inline");
+static_assert(kIntegrityRecordBytes <= kWpqEntryBytes,
+              "authenticated tree records must fit a WPQ entry inline");
 
 void
 Evictor::run(AccessContext &ctx)
@@ -234,8 +237,18 @@ Evictor::run(AccessContext &ctx)
                 write.addr = env_.params.data_layout.slotAddr(bucket, s);
                 const SlotBytes slot_bytes =
                     env_.codec.encode(sc.plan[ix]);
-                write.data.assign(slot_bytes.begin(),
-                                  slot_bytes.end());
+                if (env_.integrity) {
+                    // Authenticated record: ciphertext + fresh version
+                    // + GMAC tag, one WPQ entry (the durability atom).
+                    std::uint8_t record[kIntegrityRecordBytes];
+                    env_.integrity->sealRecord(bucket, s, slot_bytes,
+                                               record);
+                    write.data.assign(record,
+                                      record + kIntegrityRecordBytes);
+                } else {
+                    write.data.assign(slot_bytes.begin(),
+                                      slot_bytes.end());
+                }
                 if (const std::uint32_t pi = sc.slot_writer[ix])
                     sc.placed[pi - 1].write_index =
                         sc.data_writes.size();
@@ -442,6 +455,13 @@ Evictor::run(AccessContext &ctx)
             if (!e.is_backup)
                 env_.notifyCommit(e.addr, e.data);
         }
+    }
+    if (env_.integrity) {
+        // Lazily persist the interior Merkle nodes the committed
+        // rounds dirtied — quiet writes, off the enumerable crash
+        // surface (recovery recomputes and repairs them; only the
+        // root record above is load-bearing).
+        env_.integrity->streamDirtyNodes(env_.device);
     }
     ctx.t = done;
 }

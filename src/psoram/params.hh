@@ -16,6 +16,7 @@
 #include "common/types.hh"
 #include "crypto/aes128.hh"
 #include "oram/block.hh"
+#include "oram/integrity.hh"
 #include "oram/tree.hh"
 #include "psoram/design.hh"
 
@@ -66,6 +67,15 @@ struct PsOramParams
     Addr shadow_data_base = 0;    ///< data stash shadow (Rcr-PS)
     Addr shadow_pom_base = 0;     ///< PoM stash shadow (Rcr-PS)
     Addr naive_scratch_base = 0;  ///< Naive all-entry metadata scratch
+    /** @} */
+
+    /** @{ Integrity subsystem (oram/integrity.hh). Non-Off requires a
+     *  persistent non-recursive design at pipeline depth 1, and
+     *  data_layout.record_bytes == kIntegrityRecordBytes; sim's
+     *  systemParams() sets all of it consistently. */
+    IntegrityMode integrity = IntegrityMode::Off;
+    Addr integrity_root_base = 0; ///< per-round root record
+    Addr merkle_region_base = 0;  ///< persisted interior-node array
     /** @} */
 
     /** PoM tree height; 0 derives it from num_blocks (recursive). */

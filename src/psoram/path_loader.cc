@@ -1,9 +1,11 @@
 #include "psoram/path_loader.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "oram/controller.hh"
+#include "oram/integrity.hh"
 #include "oram/subtree_cache.hh"
 
 namespace psoram {
@@ -154,7 +156,18 @@ PathLoader::run(AccessContext &ctx)
                 const Addr slot_addr =
                     env_.params.data_layout.slotAddr(bucket, s);
                 SlotBytes raw{};
-                env_.device.readBytes(slot_addr, raw.data(), kSlotBytes);
+                if (env_.integrity) {
+                    // Read the whole authenticated record and refuse
+                    // it before a single byte is decrypted.
+                    std::uint8_t record[kIntegrityRecordBytes];
+                    env_.device.readBytes(slot_addr, record,
+                                          kIntegrityRecordBytes);
+                    env_.integrity->verifyRecord(bucket, s, record);
+                    std::memcpy(raw.data(), record, kSlotBytes);
+                } else {
+                    env_.device.readBytes(slot_addr, raw.data(),
+                                          kSlotBytes);
+                }
                 const Cycle rd = env_.device.accessOne(slot_addr, false,
                                                        start);
                 proc = std::max(rd, proc) +

@@ -114,6 +114,11 @@ struct PhaseEnv
     std::uint64_t temp_horizon = ~std::uint64_t{0};
     /** @} */
 
+    /** Authenticated-record layer (oram/integrity.hh); the loader
+     *  verifies and the evictor seals through it when set. Assigned
+     *  after construction, like subtree_cache. */
+    class IntegrityManager *integrity = nullptr;
+
     /** @{ Design predicates. */
     bool persistent() const
     {

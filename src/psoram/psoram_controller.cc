@@ -86,6 +86,31 @@ PsOramController::PsOramController(const PsOramParams &params,
         drainer_ = std::make_unique<Drainer>(
             params_.design.wpq_entries, params_.design.wpq_entries);
 
+    if (params_.integrity != IntegrityMode::Off) {
+        if (!usesBackups() || params_.pipeline.depth > 1)
+            PSORAM_FATAL("integrity=",
+                         integrityModeName(params_.integrity),
+                         " requires a persistent non-recursive design "
+                         "at pipeline depth 1");
+        if (params_.design.wpq_entries < 2)
+            PSORAM_FATAL("integrity needs wpq_entries >= 2 (one PosMap "
+                         "slot per round is the root record's)");
+        integrity_ = std::make_unique<IntegrityManager>(
+            params_.key, params_.integrity, params_.data_layout,
+            params_.integrity_root_base, params_.merkle_region_base);
+        // Every committed round carries a root record binding exactly
+        // the records that round (and its predecessors) wrote, so any
+        // committed prefix verifies at recovery.
+        drainer_->setRoundFinalizer(
+            [this](const WpqEntry *round_data, std::size_t n) {
+                for (std::size_t i = 0; i < n; ++i)
+                    integrity_->noteRoundWrite(round_data[i].addr,
+                                               round_data[i].data.data(),
+                                               round_data[i].data.size());
+                return integrity_->makeRootRecord(codec_.nextIv());
+            });
+    }
+
     if (params_.design.stash_tech != StashTech::SRAM) {
         const NvmTimingParams tech =
             params_.design.stash_tech == StashTech::PCM ? pcmTimings()
@@ -120,6 +145,7 @@ PsOramController::PsOramController(const PsOramParams &params,
         [this](CrashSite site) { maybeCrash(site); }, &commit_observer_,
         0});
     env_->subtree_cache = subtree_cache_.get();
+    env_->integrity = integrity_.get();
     remapper_ = std::make_unique<Remapper>(*env_);
     loader_ = std::make_unique<PathLoader>(*env_);
     backup_planner_ = std::make_unique<BackupPlanner>(*env_);
@@ -529,6 +555,17 @@ PsOramController::recoverFromNvm()
                  shadow_pom_->recover(device_, codec_))
                 pom_->restoreStashEntry(entry);
         }
+    }
+    if (integrity_) {
+        // Verify every record against its tag (and, in tree mode, the
+        // recomputed Merkle root against the committed root record)
+        // before serving a single access; throws IntegrityError rather
+        // than accept a tampered or torn node. Also resumes the slot
+        // codec past the persisted IV watermark so re-encryption never
+        // reuses a CTR keystream.
+        const IntegrityManager::RecoveryStats stats =
+            integrity_->recoverFromDevice(device_);
+        codec_.resumeIvsAfter(stats.slot_iv_floor);
     }
 }
 

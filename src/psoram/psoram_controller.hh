@@ -48,6 +48,7 @@
 #include "nvm/write_behind.hh"
 #include "oram/block.hh"
 #include "oram/controller.hh"
+#include "oram/integrity.hh"
 #include "oram/posmap.hh"
 #include "oram/recursive_posmap.hh"
 #include "oram/stash.hh"
@@ -202,6 +203,11 @@ class PsOramController
     const Stash &stash() const { return stash_; }
     const TempPosMap &tempPosMap() const { return temp_; }
     const Drainer *drainer() const { return drainer_.get(); }
+    /** Integrity subsystem (null when params.integrity == Off). */
+    const IntegrityManager *integrity() const
+    {
+        return integrity_.get();
+    }
     const PosMapTreeLevel *pomLevel() const { return pom_.get(); }
     NvmDevice *onChipDevice() { return onchip_.get(); }
 
@@ -317,6 +323,8 @@ class PsOramController
     std::unique_ptr<PersistentPosMap> pom_pos_region_;
 
     std::unique_ptr<Drainer> drainer_;
+    /** Authenticated records + Merkle tree (params.integrity != Off). */
+    std::unique_ptr<IntegrityManager> integrity_;
     /** On-chip NVM buffer for FullNVM stash/PosMap. */
     std::unique_ptr<NvmDevice> onchip_;
 

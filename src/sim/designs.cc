@@ -67,6 +67,11 @@ configFromOverrides(const Config &overrides, DesignKind design)
     else
         PSORAM_FATAL("unknown tech '", tech, "' (pcm|stt)");
 
+    const std::string integrity = overrides.getString("integrity", "off");
+    if (!parseIntegrityMode(integrity, config.integrity))
+        PSORAM_FATAL("unknown integrity '", integrity,
+                     "' (off|mac|tree)");
+
     const std::string backend = overrides.getString("backend", "memory");
     if (backend == "memory")
         config.backend = BackendKind::Memory;

@@ -7,6 +7,7 @@
 #include "common/bitops.hh"
 #include "obs/trace.hh"
 #include "oram/block.hh"
+#include "oram/integrity.hh"
 #include "oram/recursive_posmap.hh"
 #include "oram/tree.hh"
 
@@ -133,6 +134,25 @@ checkRecoveryInvariants(System &system, const RecoveryOracle &oracle)
             divCeil(params.num_blocks, kEntriesPerPosBlock);
         scanTree(device, pom_layout, codec, entry_blocks, "pom-tree",
                  violations);
+    }
+
+    // I5: no recovery path ever accepts a node whose MAC/hash fails —
+    // an independent verifier over the post-recovery image must come up
+    // clean (every record tag valid, recomputed Merkle root matching
+    // the committed root record). A crash can tear at most what ADR
+    // semantics allow, and every committed prefix carries its own root
+    // record, so any IntegrityError here means recovery accepted a
+    // tampered or torn node.
+    if (params.integrity != IntegrityMode::Off) {
+        try {
+            IntegrityManager verifier(params.key, params.integrity,
+                                      params.data_layout,
+                                      params.integrity_root_base,
+                                      params.merkle_region_base);
+            verifier.recoverFromDevice(*system.device);
+        } catch (const IntegrityError &err) {
+            violations.push_back(std::string("I5: ") + err.what());
+        }
     }
 
     // I2: committed positions must be valid leaves.

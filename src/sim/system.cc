@@ -63,6 +63,26 @@ systemParams(const SystemConfig &config)
     if (config.disable_backup_blocks)
         params.design.backup_blocks = false;
 
+    if (config.integrity != IntegrityMode::Off) {
+        // Scope: the per-record freshness hashes are drive-thread
+        // state, and only backup-block persistence puts whole records
+        // through the WPQ the root record can bind to.
+        if (params.design.persist == PersistMode::None ||
+            params.design.recursive_posmap)
+            PSORAM_FATAL("integrity=",
+                         integrityModeName(config.integrity),
+                         " requires a persistent non-recursive design "
+                         "(got ", designName(config.design), ")");
+        if (config.pipeline_depth > 1)
+            PSORAM_FATAL("integrity=",
+                         integrityModeName(config.integrity),
+                         " requires pipeline_depth=1 (fetch threads "
+                         "would race the freshness hashes)");
+        if (config.wpq_entries < 2)
+            PSORAM_FATAL("integrity needs wpq_entries >= 2");
+        params.integrity = config.integrity;
+        params.data_layout.record_bytes = kIntegrityRecordBytes;
+    }
 
     // Region layout, packed after the data tree.
     Addr cursor = alignUp(params.data_layout.footprintBytes());
@@ -119,6 +139,17 @@ systemParams(const SystemConfig &config)
     cursor = alignUp(cursor + params.data_layout.geometry.blocksPerPath() *
                               kBlockDataBytes);
 
+    if (params.integrity != IntegrityMode::Off) {
+        params.integrity_root_base = cursor;
+        cursor = alignUp(cursor + IntegrityManager::kRootRecordBytes);
+        if (params.integrity == IntegrityMode::Tree) {
+            params.merkle_region_base = cursor;
+            cursor = alignUp(cursor +
+                             params.data_layout.geometry.numBuckets() *
+                                 IntegrityManager::kHashBytes);
+        }
+    }
+
     return params;
 }
 
@@ -130,11 +161,18 @@ buildSystem(const SystemConfig &config)
     system.params = systemParams(config);
 
     // Capacity: everything laid out above plus headroom (the scratch
-    // region is laid out last in systemParams).
-    const Addr last =
+    // or integrity regions are laid out last in systemParams).
+    Addr last =
         system.params.naive_scratch_base +
         system.params.data_layout.geometry.blocksPerPath() *
             kBlockDataBytes;
+    if (system.params.integrity == IntegrityMode::Mac)
+        last = system.params.integrity_root_base +
+               IntegrityManager::kRootRecordBytes;
+    else if (system.params.integrity == IntegrityMode::Tree)
+        last = system.params.merkle_region_base +
+               system.params.data_layout.geometry.numBuckets() *
+                   IntegrityManager::kHashBytes;
     const std::uint64_t capacity = alignUp(last) + (1ULL << 20);
     switch (config.effectiveBackend()) {
       case BackendKind::Disk: {

@@ -15,6 +15,7 @@
 
 #include "mem/backend.hh"
 #include "nvm/fault_injector.hh"
+#include "oram/integrity.hh"
 #include "psoram/design.hh"
 #include "psoram/psoram_controller.hh"
 
@@ -55,6 +56,15 @@ struct SystemConfig
 
     CipherKind cipher = CipherKind::FastStream;
     std::uint64_t seed = 1;
+
+    /**
+     * Memory-integrity level (oram/integrity.hh): off keeps the
+     * historical 96-byte slot layout byte-identical; mac widens tree
+     * records to 128 bytes with a per-record GMAC tag; tree adds the
+     * persistent Merkle tree + per-round root record. Non-Off requires
+     * a persistent non-recursive design at pipeline_depth 1.
+     */
+    IntegrityMode integrity = IntegrityMode::Off;
 
     /**
      * Intra-shard pipelining (DESIGN.md §12): > 1 builds the controller

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Adversarial tamper injection against the authenticated ORAM tree.
+ *
+ * The FaultInjector models an *accidental* adversary (power failures at
+ * persist boundaries); this models the *malicious* one the integrity
+ * subsystem (oram/integrity.hh) exists for: an attacker with the NVM
+ * who flips ciphertext bytes, truncates tags, replays stale records,
+ * wipes records back to their never-written state, or corrupts the
+ * persisted Merkle nodes and root record.
+ *
+ * Tampers mutate the device with *quiet* writes — they change durable
+ * bytes without perturbing the deterministic persist-boundary numbering
+ * — and can be applied two ways:
+ *
+ *   - immediately via apply(), for recovery-path tests ("corrupt the
+ *     image, then recover, expect a typed IntegrityError");
+ *   - armed at a persist-boundary index via armAt() + attachTo(), which
+ *     installs a FaultInjector observer so the mutation lands at an
+ *     exact point of the protocol sequence — including the very
+ *     boundary a crash fault is armed at.
+ *
+ * tests/test_integrity.cc drives the full detection matrix: every
+ * TamperKind must surface as an IntegrityError at read or recovery
+ * when integrity is on, and the negative control proves the *detector*
+ * (not an accident of the workload) is what catches it.
+ */
+
+#ifndef PSORAM_SIM_TAMPER_INJECTOR_HH
+#define PSORAM_SIM_TAMPER_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backend.hh"
+#include "nvm/fault_injector.hh"
+#include "oram/tree.hh"
+
+namespace psoram {
+
+/** The tamper classes the detection matrix enumerates. */
+enum class TamperKind
+{
+    /** Flip one bit of a record's slot ciphertext. */
+    FlipCipherByte,
+    /** Flip one bit of a record's GMAC tag. */
+    FlipTagByte,
+    /** Zero the tail of a record's tag (truncation splice). */
+    TruncateTag,
+    /** Write back a stale-but-self-consistent snapshot of the record
+     *  (the mac-mode blind spot; tree mode must catch it). */
+    ReplayRecord,
+    /** Wipe the record to the never-written all-zero state (also
+     *  internally consistent; tree mode must catch it). */
+    WipeRecord,
+    /** Flip a bit of a persisted interior Merkle node (untrusted
+     *  accelerator — recovery must repair, never refuse). */
+    FlipMerkleNode,
+    /** Flip a bit of the persisted root record. */
+    FlipRootRecord,
+};
+
+inline constexpr std::size_t kNumTamperKinds = 7;
+
+const char *tamperKindName(TamperKind kind);
+
+class TamperInjector
+{
+  public:
+    /**
+     * @param device the NVM the tampers mutate
+     * @param layout data-tree layout (record addressing)
+     * @param root_record_base integrity root record address
+     * @param merkle_region_base persisted interior-node array base
+     *        (only needed for FlipMerkleNode)
+     */
+    TamperInjector(MemoryBackend &device, const TreeLayout &layout,
+                   Addr root_record_base, Addr merkle_region_base);
+
+    /**
+     * Capture the current bytes of (bucket, slot) as the replay
+     * payload a later ReplayRecord tamper writes back.
+     */
+    void snapshotRecord(BucketId bucket, unsigned slot);
+
+    /** Mutate the device now. @return the tampered NVM address */
+    Addr apply(TamperKind kind, BucketId bucket, unsigned slot);
+
+    /**
+     * Arm: when the attached FaultInjector counts boundary
+     * @p boundary_index, apply the tamper at that exact point.
+     */
+    void armAt(std::uint64_t boundary_index, TamperKind kind,
+               BucketId bucket, unsigned slot);
+
+    /** Install this injector as @p injector's boundary observer. */
+    void attachTo(FaultInjector &injector);
+
+    bool fired() const { return fired_; }
+    std::uint64_t applications() const { return applications_; }
+
+    /** Disarm and clear fired state (snapshot is kept). */
+    void reset();
+
+  private:
+    MemoryBackend &device_;
+    TreeLayout layout_;
+    Addr root_record_base_;
+    Addr merkle_region_base_;
+
+    std::vector<std::uint8_t> snapshot_;
+    Addr snapshot_addr_ = 0;
+    bool have_snapshot_ = false;
+
+    bool armed_ = false;
+    bool fired_ = false;
+    std::uint64_t target_ = 0;
+    TamperKind armed_kind_ = TamperKind::FlipCipherByte;
+    BucketId armed_bucket_ = 0;
+    unsigned armed_slot_ = 0;
+    std::uint64_t applications_ = 0;
+};
+
+} // namespace psoram
+
+#endif // PSORAM_SIM_TAMPER_INJECTOR_HH

@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "crypto/aes128.hh"
 #include "crypto/ctr.hh"
+#include "crypto/gcm.hh"
+#include "crypto/sha256.hh"
 
 namespace psoram {
 namespace {
@@ -237,6 +240,232 @@ TEST(CtrCipher, PrefixConsistency)
     cipher.apply(5, longbuf, sizeof(longbuf));
     cipher.apply(5, shortbuf, sizeof(shortbuf));
     EXPECT_EQ(std::memcmp(longbuf, shortbuf, 16), 0);
+}
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(
+            std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+    return out;
+}
+
+Gcm::Iv
+ivFromHex(const std::string &hex)
+{
+    const std::vector<std::uint8_t> bytes = fromHex(hex);
+    Gcm::Iv iv{};
+    std::copy(bytes.begin(), bytes.end(), iv.begin());
+    return iv;
+}
+
+Gcm::Tag
+tagFromHex(const std::string &hex)
+{
+    const std::vector<std::uint8_t> bytes = fromHex(hex);
+    Gcm::Tag tag{};
+    std::copy(bytes.begin(), bytes.end(), tag.begin());
+    return tag;
+}
+
+/** One NIST GCM known-answer case, checked seal-then-open. */
+void
+checkGcmVector(const std::string &key_hex, const std::string &iv_hex,
+               const std::string &pt_hex, const std::string &aad_hex,
+               const std::string &ct_hex, const std::string &tag_hex)
+{
+    const std::vector<std::uint8_t> key_bytes = fromHex(key_hex);
+    Aes128::Key key{};
+    std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+    const Gcm::Iv iv = ivFromHex(iv_hex);
+    const std::vector<std::uint8_t> pt = fromHex(pt_hex);
+    const std::vector<std::uint8_t> aad = fromHex(aad_hex);
+    const std::vector<std::uint8_t> expected_ct = fromHex(ct_hex);
+    const Gcm::Tag expected_tag = tagFromHex(tag_hex);
+
+    const Gcm gcm(key);
+    std::vector<std::uint8_t> ct(pt.size());
+    const Gcm::Tag tag = gcm.seal(iv, aad.data(), aad.size(), pt.data(),
+                                  ct.data(), pt.size());
+    EXPECT_EQ(ct, expected_ct);
+    EXPECT_EQ(tag, expected_tag);
+
+    std::vector<std::uint8_t> decrypted(ct.size(), 0xEE);
+    EXPECT_TRUE(gcm.open(iv, aad.data(), aad.size(), ct.data(),
+                         decrypted.data(), ct.size(), expected_tag));
+    EXPECT_EQ(decrypted, pt);
+}
+
+// NIST GCM test cases 1-4 (the canonical AES-128 vectors from the
+// GCM submission, cross-checked against SP 800-38D validation data).
+TEST(Gcm, NistKnownAnswerVectorsBothPaths)
+{
+    onBothPaths([&](const char *path) {
+        SCOPED_TRACE(path);
+        // Case 1: empty plaintext, empty AAD.
+        checkGcmVector("00000000000000000000000000000000",
+                       "000000000000000000000000", "", "", "",
+                       "58e2fccefa7e3061367f1d57a4e7455a");
+        // Case 2: one zero block.
+        checkGcmVector("00000000000000000000000000000000",
+                       "000000000000000000000000",
+                       "00000000000000000000000000000000", "",
+                       "0388dace60b6a392f328c2b971b2fe78",
+                       "ab6e47d42cec13bdf53a67b21257bddf");
+        // Case 3: four blocks, no AAD.
+        checkGcmVector(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d"
+            "8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657"
+            "ba637b391aafd255",
+            "",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e23"
+            "29aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac97"
+            "3d58e091473f5985",
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+        // Case 4: 60-byte plaintext (partial final block) + AAD.
+        checkGcmVector(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d"
+            "8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657"
+            "ba637b39",
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e23"
+            "29aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac97"
+            "3d58e091",
+            "5bc94fbc3221a5db94fae95ae7121a47");
+    });
+}
+
+TEST(Gcm, RejectsWrongAad)
+{
+    const Gcm gcm(keyFromBytes({1, 2, 3, 4}));
+    const Gcm::Iv iv{1};
+    const std::uint8_t aad[] = {0xAA, 0xBB, 0xCC};
+    std::uint8_t pt[40];
+    for (std::size_t i = 0; i < sizeof(pt); ++i)
+        pt[i] = static_cast<std::uint8_t>(i);
+    std::uint8_t ct[40];
+    const Gcm::Tag tag =
+        gcm.seal(iv, aad, sizeof(aad), pt, ct, sizeof(pt));
+
+    std::uint8_t out[40];
+    std::uint8_t wrong_aad[] = {0xAA, 0xBB, 0xCD};
+    EXPECT_FALSE(gcm.open(iv, wrong_aad, sizeof(wrong_aad), ct, out,
+                          sizeof(ct), tag));
+    // Shorter AAD (a "truncated AAD" splice) must also fail.
+    EXPECT_FALSE(gcm.open(iv, aad, sizeof(aad) - 1, ct, out,
+                          sizeof(ct), tag));
+    EXPECT_TRUE(
+        gcm.open(iv, aad, sizeof(aad), ct, out, sizeof(ct), tag));
+}
+
+TEST(Gcm, RejectsTruncatedOrTamperedTag)
+{
+    const Gcm gcm(keyFromBytes({7, 7, 7}));
+    const Gcm::Iv iv{9};
+    std::uint8_t pt[16] = {1, 2, 3};
+    std::uint8_t ct[16];
+    const Gcm::Tag tag = gcm.seal(iv, nullptr, 0, pt, ct, sizeof(pt));
+
+    std::uint8_t out[16] = {};
+    // A tag whose tail is zeroed (truncated-then-padded) must fail —
+    // an attacker chopping the stored tag cannot shorten the check.
+    Gcm::Tag truncated = tag;
+    for (std::size_t i = 8; i < truncated.size(); ++i)
+        truncated[i] = 0;
+    EXPECT_FALSE(
+        gcm.open(iv, nullptr, 0, ct, out, sizeof(ct), truncated));
+    // Every single-bit flip of the tag must fail.
+    for (const std::size_t byte : {0u, 5u, 15u}) {
+        Gcm::Tag flipped = tag;
+        flipped[byte] ^= 0x01;
+        EXPECT_FALSE(
+            gcm.open(iv, nullptr, 0, ct, out, sizeof(ct), flipped))
+            << "byte " << byte;
+    }
+    // Flipped ciphertext under the correct tag must fail too, and the
+    // plaintext buffer must stay untouched.
+    std::uint8_t tampered_ct[16];
+    std::memcpy(tampered_ct, ct, sizeof(ct));
+    tampered_ct[3] ^= 0x80;
+    std::memset(out, 0xEE, sizeof(out));
+    EXPECT_FALSE(
+        gcm.open(iv, nullptr, 0, tampered_ct, out, sizeof(out), tag));
+    for (const std::uint8_t b : out)
+        EXPECT_EQ(b, 0xEE);
+}
+
+TEST(Gcm, GmacIsDeterministicAndIvSensitive)
+{
+    const Gcm gcm(keyFromBytes({3, 1, 4, 1, 5}));
+    const std::uint8_t aad[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const Gcm::Iv iv_a{1};
+    const Gcm::Iv iv_b{2};
+    EXPECT_EQ(gcm.mac(iv_a, aad, sizeof(aad)),
+              gcm.mac(iv_a, aad, sizeof(aad)));
+    EXPECT_NE(gcm.mac(iv_a, aad, sizeof(aad)),
+              gcm.mac(iv_b, aad, sizeof(aad)));
+    // GMAC == full GCM tag with an empty plaintext.
+    std::uint8_t empty = 0;
+    const Gcm::Tag sealed =
+        gcm.seal(iv_a, aad, sizeof(aad), &empty, &empty, 0);
+    EXPECT_EQ(gcm.mac(iv_a, aad, sizeof(aad)), sealed);
+}
+
+Sha256::Digest
+digestOf(const std::string &msg)
+{
+    return Sha256::digest(
+        reinterpret_cast<const std::uint8_t *>(msg.data()), msg.size());
+}
+
+// FIPS 180-4 known-answer vectors.
+TEST(Sha256, KnownAnswerVectors)
+{
+    const auto expect = [](const Sha256::Digest &digest,
+                           const std::string &hex) {
+        const std::vector<std::uint8_t> want = fromHex(hex);
+        EXPECT_TRUE(
+            std::equal(digest.begin(), digest.end(), want.begin()));
+    };
+    expect(digestOf(""),
+           "e3b0c44298fc1c149afbf4c8996fb924"
+           "27ae41e4649b934ca495991b7852b855");
+    expect(digestOf("abc"),
+           "ba7816bf8f01cfea414140de5dae2223"
+           "b00361a396177a9cb410ff61f20015ad");
+    expect(digestOf("abcdbcdecdefdefgefghfghighijhijk"
+                    "ijkljklmklmnlmnomnopnopq"),
+           "248d6a61d20638b8e5c026930c3e6039"
+           "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::vector<std::uint8_t> msg(1000);
+    for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<std::uint8_t>(i * 13);
+    const Sha256::Digest oneshot = Sha256::digest(msg.data(), msg.size());
+
+    // Feed in awkward chunk sizes that straddle block boundaries.
+    Sha256 h;
+    std::size_t off = 0;
+    const std::size_t chunks[] = {1, 63, 64, 65, 7, 130, 670};
+    for (const std::size_t chunk : chunks) {
+        h.update(msg.data() + off, chunk);
+        off += chunk;
+    }
+    ASSERT_EQ(off, msg.size());
+    EXPECT_EQ(h.finish(), oneshot);
+
+    h.reset();
+    h.update(msg.data(), msg.size());
+    EXPECT_EQ(h.finish(), oneshot);
 }
 
 } // namespace

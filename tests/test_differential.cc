@@ -120,6 +120,51 @@ TEST(Differential, RcrPsOramMatchesPathOram)
     runDifferential(DesignKind::RcrPsOram);
 }
 
+TEST(Differential, IntegrityTreeMatchesIntegrityOff)
+{
+    // The integrity layer must be functionally and *obliviously*
+    // transparent: with the same seed and trace, integrity=tree and
+    // integrity=off serve byte-identical plaintexts and touch the
+    // identical leaf sequence (seal/verify consumes no randomness and
+    // alters no control flow). A divergence in the leaves would mean
+    // the authenticated records leak through the access pattern; a
+    // divergence in the data would mean seal/verify corrupted the
+    // wire format.
+    SystemConfig off_config = psConfig(DesignKind::PsOram);
+    SystemConfig tree_config = off_config;
+    tree_config.integrity = IntegrityMode::Tree;
+    System off = buildSystem(off_config);
+    System tree = buildSystem(tree_config);
+
+    Rng rng(557);
+    std::uint8_t in[kBlockDataBytes];
+    std::uint8_t off_out[kBlockDataBytes];
+    std::uint8_t tree_out[kBlockDataBytes];
+    for (std::size_t op = 0; op < kOps; ++op) {
+        const BlockAddr addr = rng.nextBelow(kBlocks);
+        OramAccessInfo off_info;
+        OramAccessInfo tree_info;
+        if (rng.nextBool(0.5)) {
+            fillPattern(addr, op, in);
+            off_info = off.controller->write(addr, in);
+            tree_info = tree.controller->write(addr, in);
+        } else {
+            off_info = off.controller->read(addr, off_out);
+            tree_info = tree.controller->read(addr, tree_out);
+            ASSERT_EQ(std::memcmp(off_out, tree_out, kBlockDataBytes),
+                      0)
+                << "integrity=tree diverged from integrity=off at op "
+                << op << " addr " << addr;
+        }
+        ASSERT_EQ(off_info.leaf, tree_info.leaf)
+            << "integrity=tree leaked through the access pattern at "
+            << "op " << op << " addr " << addr;
+        ASSERT_EQ(off_info.stash_hit, tree_info.stash_hit)
+            << "integrity=tree changed stash behavior at op " << op
+            << " addr " << addr;
+    }
+}
+
 TEST(Differential, ShardedPsOramMatchesPathOram)
 {
     // 4-shard PS-ORAM vs one plain Path ORAM over the same logical

@@ -174,6 +174,57 @@ TEST(DiskCrashEnum, TornPageAndFsyncBoundariesRecover)
     std::remove(path.c_str());
 }
 
+/**
+ * Torn pages under the integrity layer: crash exactly at the mid-pwrite
+ * PageWrite boundary with integrity=tree and recover. The tear must
+ * surface as the page trailer CRC (discarded and re-recovered) or as a
+ * typed MAC/hash refusal — never as silently accepted corrupt data.
+ * The armed replay's invariant checker (I4 old-or-new + I5 integrity
+ * re-verification) is exactly that never-silent guarantee.
+ */
+TEST(DiskCrashEnum, TornPageWithIntegrityTreeNeverSilent)
+{
+    const std::string path = tmpTree("disk_crash_integrity.tree");
+    CrashEnumConfig config;
+    config.system = diskCrashConfig(path);
+    config.system.integrity = IntegrityMode::Tree;
+    config.trace = makeCrashTrace(/*seed=*/11, /*ops=*/8,
+                                  config.system.num_blocks);
+    config.post_recovery_ops = 24;
+
+    // Locate the first torn-page boundary for this (config, trace).
+    std::uint64_t page_write_k = 0;
+    for (std::uint64_t k = 1; k <= 96 && page_write_k == 0; ++k) {
+        std::remove(path.c_str());
+        System system = buildSystem(config.system);
+        FaultInjector injector;
+        system.attachFaultInjector(&injector);
+        injector.armAt(k);
+        std::uint8_t buf[kBlockDataBytes];
+        try {
+            for (const TraceOp &op : config.trace) {
+                if (op.is_write) {
+                    stampPayload(op.addr, op.version, buf);
+                    system.controller->write(op.addr, buf);
+                } else {
+                    system.controller->read(op.addr, buf);
+                }
+            }
+        } catch (const InjectedFault &) {
+            if (injector.firedKind() == PersistBoundary::PageWrite)
+                page_write_k = k;
+        }
+    }
+    ASSERT_NE(page_write_k, 0u)
+        << "no torn-page boundary in the first 96";
+
+    std::remove(path.c_str());
+    for (const std::string &violation :
+         runArmedCrash(config, page_write_k))
+        ADD_FAILURE() << violation;
+    std::remove(path.c_str());
+}
+
 PagedDiskBackend *
 diskNvm(System &system)
 {
@@ -258,9 +309,10 @@ runShardedDiskKill(unsigned num_shards)
             EXPECT_LE(v, oracle[slot.shard].latest.at(slot.local))
                 << "shard " << slot.shard << " resurrected block "
                 << addr;
-            if (v != 0)
+            if (v != 0) {
                 EXPECT_EQ(payloadAddr(buf), slot.local)
                     << "shard " << slot.shard << " tore block " << addr;
+            }
         }
 
         // Recovery must leave every shard fully functional.

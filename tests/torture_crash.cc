@@ -96,6 +96,7 @@ struct TortureCase
             << " wpq " << system.wpq_entries << " shards " << num_shards
             << " depth " << system.pipeline_depth << " backend "
             << backendName(system.effectiveBackend())
+            << " integrity " << integrityModeName(system.integrity)
             << " ops " << trace_ops << " wf " << write_fraction
             << " trace-seed " << trace_seed << " armed-at "
             << armed_boundary;
@@ -169,6 +170,24 @@ drawCase(Rng &rng, std::uint64_t iteration)
         tc.system.disk_cache_pages = 16 + rng.nextBelow(49);
         tc.system.disk_pinned_pages = rng.nextBelow(5);
         tc.system.pipeline_depth = 1;
+    }
+
+    // Authenticated-record draw for the persistent non-recursive
+    // designs (the integrity scope, see sim/system.cc): half the
+    // eligible iterations run with a MAC or Merkle layer, so the
+    // random crash+recovery audit also covers sealed records, the
+    // per-round root record, and the I5 invariant. Integrity pins
+    // pipeline depth to 1 (enforced by systemParams).
+    if (tc.system.design == DesignKind::PsOram ||
+        tc.system.design == DesignKind::NaivePsOram) {
+        const unsigned integrity_roll =
+            static_cast<unsigned>(rng.nextBelow(4));
+        if (integrity_roll == 2)
+            tc.system.integrity = IntegrityMode::Mac;
+        else if (integrity_roll == 3)
+            tc.system.integrity = IntegrityMode::Tree;
+        if (tc.system.integrity != IntegrityMode::Off)
+            tc.system.pipeline_depth = 1;
     }
 
     tc.trace_ops = 48 + rng.nextBelow(81);
