@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte range. Shared
+ * by the on-disk page trailers (nvm/paged_disk) and the persistent
+ * flight-recorder records (nvm/flight_recorder): both need a cheap
+ * integrity stamp that detects torn or misdirected writes, not an
+ * adversary (the authenticated-record machinery covers that).
+ */
+
+#ifndef PSORAM_COMMON_CRC32_HH
+#define PSORAM_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace psoram {
+
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace psoram
+
+#endif // PSORAM_COMMON_CRC32_HH

@@ -334,4 +334,106 @@ PhaseLatencyStats::phaseSum() const
            drain.sum();
 }
 
+void
+RecoveryStats::sampleRecovery(double wpq_replay_v, double adr_redeliver_v,
+                              double image_reload_v,
+                              double posmap_rebuild_v,
+                              double integrity_verify_v,
+                              double node_repair_v, double total_v)
+{
+    wpq_replay.sample(wpq_replay_v);
+    adr_redeliver.sample(adr_redeliver_v);
+    image_reload.sample(image_reload_v);
+    posmap_rebuild.sample(posmap_rebuild_v);
+    integrity_verify.sample(integrity_verify_v);
+    node_repair.sample(node_repair_v);
+    total.sample(total_v);
+    ++recoveries;
+}
+
+void
+RecoveryStats::merge(const RecoveryStats &other)
+{
+    wpq_replay.merge(other.wpq_replay);
+    adr_redeliver.merge(other.adr_redeliver);
+    image_reload.merge(other.image_reload);
+    posmap_rebuild.merge(other.posmap_rebuild);
+    integrity_verify.merge(other.integrity_verify);
+    node_repair.merge(other.node_repair);
+    total.merge(other.total);
+    recoveries += other.recoveries.value();
+    redelivered_entries += other.redelivered_entries.value();
+    replayed_rounds += other.replayed_rounds.value();
+    records_verified += other.records_verified.value();
+    records_refused += other.records_refused.value();
+    nodes_repaired += other.nodes_repaired.value();
+    blackbox_events += other.blackbox_events.value();
+    blackbox_torn += other.blackbox_torn.value();
+}
+
+void
+RecoveryStats::reset()
+{
+    wpq_replay.reset();
+    adr_redeliver.reset();
+    image_reload.reset();
+    posmap_rebuild.reset();
+    integrity_verify.reset();
+    node_repair.reset();
+    total.reset();
+    recoveries.reset();
+    redelivered_entries.reset();
+    replayed_rounds.reset();
+    records_verified.reset();
+    records_refused.reset();
+    nodes_repaired.reset();
+    blackbox_events.reset();
+    blackbox_torn.reset();
+}
+
+void
+RecoveryStats::registerWith(StatGroup &group,
+                            const std::string &prefix) const
+{
+    group.addDistribution(prefix + ".wpq_replay_ns", &wpq_replay,
+                          "write-behind queued-round replay");
+    group.addDistribution(prefix + ".adr_redeliver_ns", &adr_redeliver,
+                          "ADR crashFlush of the in-flight WPQ rounds");
+    group.addDistribution(prefix + ".image_reload_ns", &image_reload,
+                          "controller teardown + image rebuild");
+    group.addDistribution(prefix + ".posmap_rebuild_ns", &posmap_rebuild,
+                          "volatile PosMap/stash/shadow-region rebuild");
+    group.addDistribution(prefix + ".integrity_verify_ns",
+                          &integrity_verify,
+                          "integrity record re-verification scan");
+    group.addDistribution(prefix + ".node_repair_ns", &node_repair,
+                          "stale Merkle interior-node repair");
+    group.addDistribution(prefix + ".total_ns", &total,
+                          "whole recovery, end to end");
+    group.addCounter(prefix + ".recoveries", &recoveries,
+                     "recoveries sampled (successful only)");
+    group.addCounter(prefix + ".redelivered_entries", &redelivered_entries,
+                     "WPQ entries redelivered by the ADR crash flush");
+    group.addCounter(prefix + ".replayed_rounds", &replayed_rounds,
+                     "write-behind queued rounds replayed");
+    group.addCounter(prefix + ".records_verified", &records_verified,
+                     "integrity records whose tags verified");
+    group.addCounter(prefix + ".records_refused", &records_refused,
+                     "recoveries refused with an IntegrityError");
+    group.addCounter(prefix + ".nodes_repaired", &nodes_repaired,
+                     "stale persisted interior nodes rewritten");
+    group.addCounter(prefix + ".blackbox_events", &blackbox_events,
+                     "flight-recorder events decoded at recovery");
+    group.addCounter(prefix + ".blackbox_torn", &blackbox_torn,
+                     "flight-recorder records dropped (torn/bad CRC)");
+}
+
+double
+RecoveryStats::phaseSum() const
+{
+    return wpq_replay.sum() + adr_redeliver.sum() + image_reload.sum() +
+           posmap_rebuild.sum() + integrity_verify.sum() +
+           node_repair.sum();
+}
+
 } // namespace psoram

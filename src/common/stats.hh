@@ -254,6 +254,56 @@ struct PhaseLatencyStats
     double phaseSum() const;
 };
 
+/**
+ * Per-phase recovery-latency breakdown for the crash-recovery pipeline
+ * (RecoveryManager::recover + System::recoverController), in host
+ * nanoseconds.
+ *
+ * Invariant the owner maintains: the six phase windows are adjacent
+ * timestamp deltas over one recovery, so for every sampled recovery
+ *   wpq_replay + adr_redeliver + image_reload + posmap_rebuild
+ *     + integrity_verify + node_repair == total   exactly.
+ * Phases a recovery does not run (no write-behind, integrity off, ...)
+ * sample 0 so the identity still holds.
+ */
+struct RecoveryStats
+{
+    Distribution wpq_replay;       ///< write-behind queued-round replay
+    Distribution adr_redeliver;    ///< ADR crashFlush of in-flight WPQs
+    Distribution image_reload;     ///< controller/device image rebuild
+    Distribution posmap_rebuild;   ///< volatile PosMap/stash/shadow redo
+    Distribution integrity_verify; ///< record re-verification scan
+    Distribution node_repair;      ///< stale interior-node repair
+    Distribution total;            ///< whole recovery, end to end
+
+    Counter recoveries;          ///< recoveries sampled (success only)
+    Counter redelivered_entries; ///< WPQ entries crashFlush redelivered
+    Counter replayed_rounds;     ///< write-behind rounds replayed
+    Counter records_verified;    ///< integrity records that verified
+    Counter records_refused;     ///< recoveries refused (IntegrityError)
+    Counter nodes_repaired;      ///< interior nodes rewritten
+    Counter blackbox_events;     ///< flight-recorder events decoded
+    Counter blackbox_torn;       ///< flight-recorder records torn/bad
+
+    /** One recovery's phase windows, sampled under the sum identity. */
+    void sampleRecovery(double wpq_replay_v, double adr_redeliver_v,
+                        double image_reload_v, double posmap_rebuild_v,
+                        double integrity_verify_v, double node_repair_v,
+                        double total_v);
+
+    /** Fold @p other in (read-side shard merge; safe mid-run). */
+    void merge(const RecoveryStats &other);
+
+    void reset();
+
+    /** Register every stat as "<prefix>.<name>". */
+    void registerWith(StatGroup &group, const std::string &prefix) const;
+
+    /** Sum over the six phase distributions' sample sums (== the sum
+     *  of `total` up to floating-point association). */
+    double phaseSum() const;
+};
+
 } // namespace psoram
 
 #endif // PSORAM_COMMON_STATS_HH

@@ -45,6 +45,7 @@
 namespace psoram {
 
 class FaultInjector;
+class FlightRecorder;
 
 /** One 64-byte backend line. */
 using NvmLine = std::array<std::uint8_t, kBlockDataBytes>;
@@ -132,6 +133,23 @@ class MemoryBackend
     {
         for (std::size_t i = 0; i < n; ++i)
             writeBytesQuiet(spans[i].addr, spans[i].data, spans[i].len);
+    }
+
+    /**
+     * Quiet write to a *side region*: a reserved address range (the
+     * flight-recorder ring) that never aliases protocol traffic. Like
+     * writevQuiet — no persist boundaries, not an enumerable crash
+     * point — but additionally exempt from program-order guarantees
+     * against pending protocol writes: a decorator that queues or
+     * reorders protocol traffic (WriteBehindNvm) lands side writes on
+     * the durable medium directly, WITHOUT flushing its queue, since
+     * no read or recovery path can observe an ordering between a side
+     * record and tree traffic. Default: forwards to writevQuiet.
+     */
+    virtual void
+    writevSide(const WriteSpan *spans, std::size_t n)
+    {
+        writevQuiet(spans, n);
     }
 
     void
@@ -245,8 +263,22 @@ class MemoryBackend
     FaultInjector *faultInjector() const { return fault_injector_; }
     /** @} */
 
+    /**
+     * @{ Flight recorder (nvm/flight_recorder.hh). When set, backends
+     * with a checkpoint notion (FileBackedNvm) stamp a black-box marker
+     * per image persist. Non-owning; the owner must outlive the
+     * backend's last write (sim::System orders its members so).
+     */
+    void setFlightRecorder(FlightRecorder *recorder)
+    {
+        flight_recorder_ = recorder;
+    }
+    FlightRecorder *flightRecorder() const { return flight_recorder_; }
+    /** @} */
+
   protected:
     FaultInjector *fault_injector_ = nullptr;
+    FlightRecorder *flight_recorder_ = nullptr;
 };
 
 } // namespace psoram

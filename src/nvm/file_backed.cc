@@ -6,6 +6,8 @@
 
 #include "common/log.hh"
 #include "nvm/fault_injector.hh"
+#include "nvm/flight_recorder.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -39,6 +41,7 @@ FileBackedNvm::~FileBackedNvm()
 void
 FileBackedNvm::loadFromFile()
 {
+    PSORAM_TRACE_SCOPE("recovery", "image_reload", 0);
     std::ifstream in(path_, std::ios::binary);
     if (!in)
         return; // fresh image: first persist() creates the file
@@ -102,6 +105,12 @@ FileBackedNvm::persist()
     // (persist is atomic via temp file + rename).
     if (fault_injector_)
         fault_injector_->boundary(PersistBoundary::ImagePersist);
+    PSORAM_TRACE_SCOPE("recovery", "image_persist", 0);
+    // Black-box the checkpoint *before* snapshotting, so the marker is
+    // part of the image it marks (a reopen decodes it as the tail).
+    if (flight_recorder_)
+        flight_recorder_->record(*this, FlightEventKind::Checkpoint,
+                                 image().size());
     discarded_ = false;
     const std::string tmp = path_ + ".tmp";
     {

@@ -8,8 +8,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/crc32.hh"
 #include "common/log.hh"
 #include "nvm/fault_injector.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -67,20 +69,7 @@ unpackU32(const std::uint8_t *in)
 std::uint32_t
 PagedDiskBackend::crc32(const std::uint8_t *data, std::size_t len)
 {
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = 0xffffffffu;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
+    return psoram::crc32(data, len);
 }
 
 PagedDiskBackend::PagedDiskBackend(const NvmTimingParams &params,
@@ -92,6 +81,7 @@ PagedDiskBackend::PagedDiskBackend(const NvmTimingParams &params,
       num_pages_((capacity_bytes + kPageBytes - 1) / kPageBytes),
       config_(std::move(config))
 {
+    PSORAM_TRACE_SCOPE("recovery", "disk_open", 0);
     if (num_channels == 0)
         PSORAM_FATAL("paged disk backend needs at least one channel");
     if (config_.path.empty())

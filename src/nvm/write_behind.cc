@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "nvm/flight_recorder.hh"
 #include "obs/trace.hh"
 
 namespace psoram {
@@ -205,6 +206,10 @@ WriteBehindNvm::retireBatch(std::deque<Round> &batch)
     // The batch is the write-back unit: one barrier makes the landed
     // rounds durable on media that defer quiet writes.
     inner_.persistBarrier();
+    if (flight_recorder_ && !batch.empty())
+        flight_recorder_->record(inner_, FlightEventKind::RetireBatch,
+                                 batch.front().seq, batch.size(),
+                                 transactions);
     dev.unlock();
 
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -284,6 +289,13 @@ WriteBehindNvm::writev(const WriteSpan *spans, std::size_t n)
     flushQueued();
     std::unique_lock<std::shared_mutex> dev(device_mutex_);
     inner_.writev(spans, n);
+}
+
+void
+WriteBehindNvm::writevSide(const WriteSpan *spans, std::size_t n)
+{
+    std::unique_lock<std::shared_mutex> dev(device_mutex_);
+    inner_.writevSide(spans, n);
 }
 
 void

@@ -124,6 +124,14 @@ class WriteBehindNvm : public MemoryBackend
     void dropVolatile() override;
     /** @} */
 
+    /**
+     * Side-region append (flight-recorder ring): takes only the device
+     * lock — deliberately NO queue flush, so a black-box record on the
+     * drive thread cannot force an early retirement and perturb the
+     * write-behind batching it is there to observe.
+     */
+    void writevSide(const WriteSpan *spans, std::size_t n) override;
+
     /** @{ Timing model: forwarded unlocked (drive thread only). */
     Cycle access(Addr addr, std::size_t len, bool is_write,
                  Cycle earliest) override;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace psoram {
 
@@ -367,6 +368,7 @@ IntegrityManager::streamDirtyNodes(MemoryBackend &device)
 IntegrityManager::RecoveryStats
 IntegrityManager::recoverFromDevice(MemoryBackend &device)
 {
+    PSORAM_TRACE_SCOPE("recovery", "integrity_recover", 0);
     RecoveryStats stats;
     initFresh();
 
@@ -452,10 +454,12 @@ IntegrityManager::recoverFromDevice(MemoryBackend &device)
                 "root record");
     }
 
+    stats.verify_done_ns = obs::hostNowNs();
     if (mode_ == IntegrityMode::Tree) {
         // The persisted interior nodes are an untrusted accelerator:
         // lazily streamed, possibly stale after a crash. Repair, never
         // believe.
+        PSORAM_TRACE_SCOPE("recovery", "node_repair", 0);
         std::uint8_t stored[kHashBytes];
         for (BucketId b = 0; b < geo.numBuckets(); ++b) {
             device.readBytes(merkle_region_base_ + b * kHashBytes,

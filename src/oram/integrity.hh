@@ -133,6 +133,10 @@ class IntegrityManager
         std::uint64_t nodes_repaired = 0;
         /** Codec IV watermark from the root record (resume floor). */
         std::uint64_t slot_iv_floor = 0;
+        /** Host timestamp at the verify/repair boundary: the record
+         *  scan + root check are done, the interior-node repair pass
+         *  is about to start (recovery phase attribution). */
+        std::uint64_t verify_done_ns = 0;
     };
 
     /**

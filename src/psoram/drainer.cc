@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "nvm/flight_recorder.hh"
 
 namespace psoram {
 
@@ -34,6 +35,10 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
         // Step 5-B: "start" opens both queues; entries stream in. With
         // a finalizer one PosMap slot stays reserved for its entry.
         adr_.start();
+        const std::uint64_t round_id = rounds_.value();
+        if (flight_)
+            flight_->record(*flight_sink_, FlightEventKind::RoundStart,
+                            round_id);
         const std::size_t pos_reserve = finalizer_ ? 1 : 0;
         const std::size_t round_first_data = data_idx;
         std::size_t in_round = 0;
@@ -75,7 +80,12 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
 
         // Step 5-C: "end" commits the round; ADR guarantees it reaches
         // the NVM even across a power failure from here on.
+        const std::size_t committed_data = adr_.dataWpq().size();
+        const std::size_t committed_pos = adr_.posmapWpq().size();
         adr_.end();
+        if (flight_)
+            flight_->record(*flight_sink_, FlightEventKind::RoundCommit,
+                            round_id, committed_data, committed_pos);
 
         if (hook)
             hook(CrashSite::AfterCommit);
@@ -89,6 +99,13 @@ Drainer::persist(const EvictionBundle &bundle, MemoryBackend &device,
             sink_(adr_.takeCommittedRound());
         } else {
             done = adr_.drain(device, done);
+            // The synchronous drain *is* the durable watermark: every
+            // entry of the round has physically reached the NVM cells.
+            // (The async path's watermark is the RetireBatch record.)
+            if (flight_)
+                flight_->record(*flight_sink_,
+                                FlightEventKind::DrainWatermark, round_id,
+                                committed_data + committed_pos);
         }
         data_committed = data_idx;
         (void)data_committed;

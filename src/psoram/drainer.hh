@@ -119,10 +119,26 @@ class Drainer
     std::uint64_t entriesPersisted() const { return entries_.value(); }
     std::uint64_t splitEvictions() const { return splits_.value(); }
 
+    /**
+     * Black-box the round brackets: when set, persist() appends a
+     * RoundStart/RoundCommit record per WPQ round (and a DrainWatermark
+     * after each synchronous drain) through @p sink's side-write seam.
+     * @p sink should be the device the controller drains through (the
+     * write-behind decorator when pipelined — its writevSide takes the
+     * device lock without flushing the queue). Null detaches.
+     */
+    void setFlightRecorder(FlightRecorder *recorder, MemoryBackend *sink)
+    {
+        flight_ = recorder;
+        flight_sink_ = recorder ? sink : nullptr;
+    }
+
   private:
     AdrDomain adr_;
     RoundSink sink_;
     RoundFinalizer finalizer_;
+    FlightRecorder *flight_ = nullptr;
+    MemoryBackend *flight_sink_ = nullptr;
     Counter rounds_;
     Counter entries_;
     Counter splits_;

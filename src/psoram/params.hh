@@ -78,6 +78,13 @@ struct PsOramParams
     Addr merkle_region_base = 0;  ///< persisted interior-node array
     /** @} */
 
+    /** @{ Persistent flight recorder (nvm/flight_recorder.hh). 0 base
+     *  disables it — the reserved region is laid out last, so every
+     *  other region base is identical with the recorder on or off. */
+    Addr flight_recorder_base = 0;
+    std::size_t flight_recorder_records = 0;
+    /** @} */
+
     /** PoM tree height; 0 derives it from num_blocks (recursive). */
     unsigned pom_height = 0;
     std::size_t pom_stash_capacity = 64;

@@ -501,16 +501,47 @@ PsOramController::stageFinish(StagedAccess &sa)
     return ctx.info;
 }
 
-void
-PsOramController::powerFailureFlush()
+PsOramController::FlushOutcome
+PsOramController::powerFailureFlush(bool timed)
 {
+    FlushOutcome outcome;
     // Committed rounds queued behind the background retirer are part of
     // the ADR domain: land them before (and in order with) whatever is
     // still inside the WPQs.
-    if (write_behind_)
-        write_behind_->flushQueued();
+    {
+        // Span emitted even without a retire queue (zero-length): the
+        // recovery timeline has the same shape in every build.
+        PSORAM_TRACE_SCOPE("recovery", "wpq_replay", 0);
+        if (write_behind_) {
+            const std::uint64_t retired_before =
+                write_behind_->roundsRetired();
+            write_behind_->flushQueued();
+            outcome.replayed_rounds =
+                write_behind_->roundsRetired() - retired_before;
+        }
+    }
+    if (timed)
+        outcome.split_ns = obs::hostNowNs();
+    {
+        PSORAM_TRACE_SCOPE("recovery", "adr_redeliver", 0);
+        if (drainer_)
+            outcome.redelivered_entries =
+                drainer_->domain().crashFlush(dev());
+    }
+    return outcome;
+}
+
+void
+PsOramController::attachFlightRecorder(FlightRecorder *recorder)
+{
+    // The drainer records through dev() — the write-behind decorator
+    // when pipelined, whose writevSide takes the device lock without
+    // flushing the retire queue (a black-box append must not perturb
+    // the batching it observes).
     if (drainer_)
-        drainer_->domain().crashFlush(dev());
+        drainer_->setFlightRecorder(recorder, &dev());
+    if (write_behind_)
+        write_behind_->setFlightRecorder(recorder);
 }
 
 void
@@ -535,27 +566,32 @@ PsOramController::registerStats(StatGroup &group) const
 }
 
 void
-PsOramController::recoverFromNvm()
+PsOramController::recoverFromNvm(RecoveryTimings *timings)
 {
     PSORAM_TRACE_SCOPE("recovery", "recover_from_nvm", 0);
-    stash_.clear();
-    temp_.clear();
-    volatile_posmap_.clear();
-    if (subtree_cache_)
-        subtree_cache_->clear();
-    if (recursive()) {
-        pom_->loseVolatileState();
-        if (persistent()) {
-            shadow_data_->resumeFrom(device_);
-            shadow_pom_->resumeFrom(device_);
-            for (const StashEntry &entry :
-                 shadow_data_->recover(device_, codec_))
-                stash_.insert(entry);
-            for (const StashEntry &entry :
-                 shadow_pom_->recover(device_, codec_))
-                pom_->restoreStashEntry(entry);
+    {
+        PSORAM_TRACE_SCOPE("recovery", "posmap_rebuild", 0);
+        stash_.clear();
+        temp_.clear();
+        volatile_posmap_.clear();
+        if (subtree_cache_)
+            subtree_cache_->clear();
+        if (recursive()) {
+            pom_->loseVolatileState();
+            if (persistent()) {
+                shadow_data_->resumeFrom(device_);
+                shadow_pom_->resumeFrom(device_);
+                for (const StashEntry &entry :
+                     shadow_data_->recover(device_, codec_))
+                    stash_.insert(entry);
+                for (const StashEntry &entry :
+                     shadow_pom_->recover(device_, codec_))
+                    pom_->restoreStashEntry(entry);
+            }
         }
     }
+    if (timings)
+        timings->rebuild_done_ns = obs::hostNowNs();
     if (integrity_) {
         // Verify every record against its tag (and, in tree mode, the
         // recomputed Merkle root against the committed root record)
@@ -566,6 +602,16 @@ PsOramController::recoverFromNvm()
         const IntegrityManager::RecoveryStats stats =
             integrity_->recoverFromDevice(device_);
         codec_.resumeIvsAfter(stats.slot_iv_floor);
+        if (timings) {
+            timings->verify_done_ns = stats.verify_done_ns;
+            timings->records_verified = stats.records_verified;
+            timings->nodes_repaired = stats.nodes_repaired;
+        }
+    }
+    if (timings) {
+        timings->end_ns = obs::hostNowNs();
+        if (!integrity_)
+            timings->verify_done_ns = timings->rebuild_done_ns;
     }
 }
 

@@ -158,8 +158,37 @@ class PsOramController
             drainer_->domain().setFaultInjector(injector);
     }
 
-    /** ADR semantics at power failure: flush committed WPQ rounds. */
-    void powerFailureFlush();
+    /** What the power-failure flush delivered (recovery accounting). */
+    struct FlushOutcome
+    {
+        /** WPQ entries the ADR crash flush redelivered to the NVM. */
+        std::size_t redelivered_entries = 0;
+        /** Committed rounds the write-behind retirer replayed. */
+        std::uint64_t replayed_rounds = 0;
+        /** Host timestamp between the write-behind replay and the ADR
+         *  redelivery (phase attribution; 0 when not requested). */
+        std::uint64_t split_ns = 0;
+    };
+
+    /** ADR semantics at power failure: flush committed WPQ rounds.
+     *  @param timed stamp FlushOutcome::split_ns (recovery stats) */
+    FlushOutcome powerFailureFlush(bool timed = false);
+
+    /** Adjacent-window timestamps recoverFromNvm() fills for the
+     *  recovery phase breakdown (all hostNowNs; see common/stats.hh
+     *  RecoveryStats for the identity they feed). */
+    struct RecoveryTimings
+    {
+        /** Volatile-state rebuild (stash/PosMap/shadow restore) done. */
+        std::uint64_t rebuild_done_ns = 0;
+        /** Integrity record scan + root check done (== rebuild_done_ns
+         *  when integrity is off). */
+        std::uint64_t verify_done_ns = 0;
+        /** Function exit (after interior-node repair + IV resume). */
+        std::uint64_t end_ns = 0;
+        std::uint64_t records_verified = 0;
+        std::uint64_t nodes_repaired = 0;
+    };
 
     /**
      * Rebuild volatile state from the persistent NVM image: reload the
@@ -167,8 +196,16 @@ class PsOramController
      * non-recursive designs the committed PosMap lives in the trusted
      * NVM region and needs no eager rebuild.
      */
-    void recoverFromNvm();
+    void recoverFromNvm(RecoveryTimings *timings = nullptr);
     /** @} */
+
+    /**
+     * Black-box the protocol's round brackets + retirement batches
+     * (nvm/flight_recorder.hh): wires @p recorder through the drainer
+     * and the write-behind retirer. Null detaches. The recorder must
+     * outlive this controller.
+     */
+    void attachFlightRecorder(FlightRecorder *recorder);
 
     /** @{ FullNVM designs: the on-chip buffers are non-volatile. */
     struct OnChipNvState

@@ -26,6 +26,8 @@
 
 namespace psoram {
 
+class FlightRecorder;
+
 struct RecoveryReport
 {
     /** NVM reads performed during the rebuild. */
@@ -47,10 +49,19 @@ class RecoveryManager
      * content is carried over (that alone does not make the design
      * crash consistent — the data/metadata updates are not atomic,
      * which the tests demonstrate).
+     *
+     * @param stats when set, one per-phase latency sample plus the
+     *        recovery counters land here (common/stats.hh); a refused
+     *        recovery (IntegrityError) bumps records_refused and
+     *        rethrows without sampling the distributions.
+     * @param flight when set, the persistent black box is decoded
+     *        BEFORE any recovery write (counters + trace tail), and
+     *        RecoveryStart/RecoveryDone records bracket the rebuild.
      */
     static std::unique_ptr<PsOramController>
     recover(std::unique_ptr<PsOramController> crashed, MemoryBackend &device,
-            RecoveryReport *report = nullptr);
+            RecoveryReport *report = nullptr, RecoveryStats *stats = nullptr,
+            FlightRecorder *flight = nullptr);
 };
 
 } // namespace psoram

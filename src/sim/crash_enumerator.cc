@@ -1,5 +1,6 @@
 #include "sim/crash_enumerator.hh"
 
+#include <fstream>
 #include <map>
 #include <sstream>
 
@@ -155,6 +156,8 @@ runArmedCrash(const CrashEnumConfig &config, std::uint64_t k)
 
     // Power failure: ADR flush, volatile state lost, rebuild, recover.
     system.recoverController();
+    if (config.recovery_stats)
+        config.recovery_stats->merge(*system.recovery_stats);
 
     for (std::string &v : checkRecoveryInvariants(system, oracle))
         violations.push_back(where + ": " + std::move(v));
@@ -184,6 +187,13 @@ runArmedCrash(const CrashEnumConfig &config, std::uint64_t k)
     }
     if (!violations.empty() && !config.trace_path.empty())
         obs::TraceRecorder::instance().writeTo(config.trace_path);
+    if (!violations.empty() && !config.blackbox_path.empty() &&
+        system.flight_recorder) {
+        std::ofstream out(config.blackbox_path, std::ios::trunc);
+        out << FlightRecorder::format(FlightRecorder::decode(
+            *system.device, system.params.flight_recorder_base,
+            system.params.flight_recorder_records));
+    }
     return violations;
 }
 
@@ -217,8 +227,9 @@ enumerateCrashPoints(const CrashEnumConfig &config)
             failure.boundary = k;
             failure.violations = std::move(violations);
             summary.failures.push_back(std::move(failure));
-            // Keep the *first* failing replay's trace on disk.
+            // Keep the *first* failing replay's trace + black box.
             armed.trace_path.clear();
+            armed.blackbox_path.clear();
         }
     }
     return summary;

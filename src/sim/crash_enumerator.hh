@@ -66,6 +66,18 @@ struct CrashEnumConfig
      * trace, so a red run ships with the dying run's event timeline.
      */
     std::string trace_path;
+    /**
+     * Non-empty: on a *failing* replay, decode the dying system's
+     * persistent flight ring (requires system.flight_recorder) and
+     * write the human-readable black-box dump here, next to the trace.
+     */
+    std::string blackbox_path;
+    /**
+     * Non-null: every replay's recovery stats (phase latencies,
+     * redelivery counters, black-box decode counts) are merged here
+     * after its recovery — the harnesses export the aggregate.
+     */
+    RecoveryStats *recovery_stats = nullptr;
 };
 
 /** Outcome of one armed replay that produced violations. */

@@ -87,6 +87,9 @@ configFromOverrides(const Config &overrides, DesignKind design)
         overrides.getUint("cachepages", config.disk_cache_pages));
     config.disk_pinned_pages = static_cast<std::size_t>(
         overrides.getUint("pinpages", config.disk_pinned_pages));
+    config.flight_recorder = overrides.getUint("flightrec", 0) != 0;
+    config.flight_records = static_cast<std::size_t>(
+        overrides.getUint("flightrecords", config.flight_records));
     return config;
 }
 

@@ -150,6 +150,18 @@ systemParams(const SystemConfig &config)
         }
     }
 
+    if (config.flight_recorder) {
+        // Laid out LAST: enabling the black box must not move any
+        // other region (tree traffic stays byte-identical — pinned by
+        // the transparency differential).
+        params.flight_recorder_base = cursor;
+        params.flight_recorder_records =
+            config.flight_records ? config.flight_records
+                                  : FlightRecorder::kDefaultRecords;
+        cursor = alignUp(cursor + FlightRecorder::regionBytes(
+                                      params.flight_recorder_records));
+    }
+
     return params;
 }
 
@@ -173,6 +185,10 @@ buildSystem(const SystemConfig &config)
         last = system.params.merkle_region_base +
                system.params.data_layout.geometry.numBuckets() *
                    IntegrityManager::kHashBytes;
+    if (system.params.flight_recorder_base != 0)
+        last = system.params.flight_recorder_base +
+               FlightRecorder::regionBytes(
+                   system.params.flight_recorder_records);
     const std::uint64_t capacity = alignUp(last) + (1ULL << 20);
     switch (config.effectiveBackend()) {
       case BackendKind::Disk: {
@@ -198,8 +214,19 @@ buildSystem(const SystemConfig &config)
             config.banks_per_channel, capacity);
         break;
     }
+    system.recovery_stats = std::make_unique<RecoveryStats>();
+    if (system.params.flight_recorder_base != 0) {
+        system.flight_recorder = std::make_unique<FlightRecorder>(
+            system.params.flight_recorder_base,
+            system.params.flight_recorder_records);
+        system.flight_recorder->attach(*system.device);
+        system.device->setFlightRecorder(system.flight_recorder.get());
+    }
     system.controller = std::make_unique<PsOramController>(
         system.params, *system.device);
+    if (system.flight_recorder)
+        system.controller->attachFlightRecorder(
+            system.flight_recorder.get());
     return system;
 }
 
@@ -215,10 +242,14 @@ System::recoverController()
         // held un-flushed is genuinely lost to recovery.
         device->dropVolatile();
         controller = RecoveryManager::recover(std::move(controller),
-                                              *device);
+                                              *device, nullptr,
+                                              recovery_stats.get(),
+                                              flight_recorder.get());
     }
     if (fault_injector)
         controller->attachFaultInjector(fault_injector);
+    if (flight_recorder)
+        controller->attachFlightRecorder(flight_recorder.get());
     if (rebind_hook)
         rebind_hook(*controller);
 }

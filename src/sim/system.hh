@@ -15,6 +15,7 @@
 
 #include "mem/backend.hh"
 #include "nvm/fault_injector.hh"
+#include "nvm/flight_recorder.hh"
 #include "oram/integrity.hh"
 #include "psoram/design.hh"
 #include "psoram/psoram_controller.hh"
@@ -86,6 +87,19 @@ struct SystemConfig
     std::size_t retire_queue_rounds = 0;
 
     /**
+     * Persistent flight recorder ("black box", nvm/flight_recorder.hh):
+     * reserve a CRC-stamped event ring at the end of the NVM layout and
+     * wire it through the drainer, the write-behind retirer and the
+     * file-image checkpoints. Off by default: the ring appends are
+     * quiet writes, which the golden traffic digests DO count — every
+     * byte-pinned configuration runs without it. The reserved region is
+     * laid out last, so enabling it shifts no other region base.
+     */
+    bool flight_recorder = false;
+    /** Ring capacity in 64-byte event records. */
+    std::size_t flight_records = 64;
+
+    /**
      * Fault-injection negative control: suppress §4.2.2 backup blocks
      * while keeping the rest of the persistence machinery. The crash
      * enumerator must detect the resulting data loss — a build where it
@@ -136,6 +150,15 @@ struct System
 
     SystemConfig config;
     PsOramParams params;
+    /**
+     * Black box + recovery stats. Declared BEFORE the device: members
+     * destroy in reverse order, so the recorder outlives the backend's
+     * destructor-time image persist (which stamps a final checkpoint
+     * marker through its raw recorder pointer). Null when
+     * config.flight_recorder is off (recovery_stats always exists).
+     */
+    std::unique_ptr<FlightRecorder> flight_recorder;
+    std::unique_ptr<RecoveryStats> recovery_stats;
     std::unique_ptr<MemoryBackend> device;
     std::unique_ptr<PsOramController> controller;
     RebindHook rebind_hook;

@@ -97,6 +97,8 @@ struct TortureCase
             << " depth " << system.pipeline_depth << " backend "
             << backendName(system.effectiveBackend())
             << " integrity " << integrityModeName(system.integrity)
+            << " flightrec "
+            << (system.flight_recorder ? system.flight_records : 0)
             << " ops " << trace_ops << " wf " << write_fraction
             << " trace-seed " << trace_seed << " armed-at "
             << armed_boundary;
@@ -190,6 +192,14 @@ drawCase(Rng &rng, std::uint64_t iteration)
             tc.system.pipeline_depth = 1;
     }
 
+    // Black box on half the iterations: the flight ring's side-channel
+    // writes must never perturb the boundary domain or recovery. A
+    // small ring forces wrap-around under a busy trace.
+    if (rng.nextBool(0.5)) {
+        tc.system.flight_recorder = true;
+        tc.system.flight_records = rng.nextBool(0.5) ? 16 : 64;
+    }
+
     tc.trace_ops = 48 + rng.nextBelow(81);
     const double wfs[] = {0.5, 0.6, 0.8};
     tc.write_fraction = wfs[rng.nextBelow(3)];
@@ -219,6 +229,8 @@ struct IterationStats
     Counter fired;
     Counter not_fired;
     Counter boundaries;
+    /** Aggregated over every recovery the torture run performed. */
+    RecoveryStats recovery;
 };
 
 /**
@@ -226,13 +238,16 @@ struct IterationStats
  * random boundary, replay, recover, check.
  */
 std::vector<std::string>
-runUnsharded(TortureCase &tc, Rng &rng, IterationStats &stats)
+runUnsharded(TortureCase &tc, Rng &rng, IterationStats &stats,
+             const std::string &blackbox_path)
 {
     CrashEnumConfig config;
     config.system = tc.system;
     config.trace = makeCrashTrace(tc.trace_seed, tc.trace_ops,
                                   tc.system.num_blocks,
                                   tc.write_fraction);
+    config.blackbox_path = blackbox_path;
+    config.recovery_stats = &stats.recovery;
 
     scrubBackingFiles(tc);
     std::uint64_t total = 0;
@@ -279,7 +294,10 @@ runUnsharded(TortureCase &tc, Rng &rng, IterationStats &stats)
     ++stats.fired;
     std::vector<std::string> violations =
         runArmedCrash(config, tc.armed_boundary);
-    scrubBackingFiles(tc);
+    // Success: scrub the backing files. Failure: keep them — they are
+    // the crash evidence the report points at.
+    if (violations.empty())
+        scrubBackingFiles(tc);
     return violations;
 }
 
@@ -290,7 +308,8 @@ runUnsharded(TortureCase &tc, Rng &rng, IterationStats &stats)
  * partition) and run a verified cross-shard workload.
  */
 std::vector<std::string>
-runSharded(TortureCase &tc, Rng &rng, IterationStats &stats)
+runShardedInner(TortureCase &tc, Rng &rng, IterationStats &stats,
+                const std::string &blackbox_path)
 {
     ShardedSystemConfig config;
     config.base = tc.system;
@@ -389,6 +408,7 @@ runSharded(TortureCase &tc, Rng &rng, IterationStats &stats)
     if (crashed) {
         ++stats.fired;
         sharded.recoverShard(victim);
+        stats.recovery.merge(*sharded.shards[victim].recovery_stats);
     } else {
         ++stats.not_fired;
     }
@@ -422,6 +442,33 @@ runSharded(TortureCase &tc, Rng &rng, IterationStats &stats)
                     "addr " + std::to_string(addr));
         }
     }
+    if (!violations.empty() && !blackbox_path.empty() &&
+        sharded.shards[victim].flight_recorder) {
+        // Ship the victim's black box with the failure report (the
+        // shard images stay on disk as evidence too).
+        const System &v = sharded.shards[victim];
+        std::ofstream out(blackbox_path, std::ios::trunc);
+        out << FlightRecorder::format(FlightRecorder::decode(
+            *v.device, v.params.flight_recorder_base,
+            v.params.flight_recorder_records));
+    }
+    return violations;
+}
+
+std::vector<std::string>
+runSharded(TortureCase &tc, Rng &rng, IterationStats &stats,
+           const std::string &blackbox_path)
+{
+    // Pre-clean leftovers from an earlier crashed process.
+    scrubBackingFiles(tc);
+    std::vector<std::string> violations =
+        runShardedInner(tc, rng, stats, blackbox_path);
+    // Only now are the shard Systems destroyed — a file-backed image
+    // persists itself again in the backend destructor, so scrubbing
+    // inside the inner scope would leave files behind. Success: scrub.
+    // Failure: keep the images as crash evidence.
+    if (violations.empty())
+        scrubBackingFiles(tc);
     return violations;
 }
 
@@ -450,13 +497,15 @@ tortureMain(const Options &options)
                              "iterations run as no-crash audits");
     torture_group.addCounter("boundaries_crossed", &stats.boundaries,
                              "persist boundaries crossed in total");
-    const auto writeMetrics = [&] {
-        if (options.metrics.empty())
+    stats.recovery.registerWith(torture_group, "recovery");
+    const auto writeMetrics = [&](const std::string &path) {
+        if (path.empty())
             return;
         obs::MetricsExporter exporter;
         exporter.addGroup(&torture_group);
-        exporter.writeTo(options.metrics);
+        exporter.writeTo(path);
     };
+    const std::string blackbox_path = options.report + ".blackbox.txt";
 
     std::uint64_t iteration = 0;
     while ((options.iterations == 0 ||
@@ -471,9 +520,10 @@ tortureMain(const Options &options)
         TortureCase tc = drawCase(rng, iteration);
         std::vector<std::string> violations;
         try {
-            violations = tc.num_shards == 1
-                             ? runUnsharded(tc, rng, stats)
-                             : runSharded(tc, rng, stats);
+            violations =
+                tc.num_shards == 1
+                    ? runUnsharded(tc, rng, stats, blackbox_path)
+                    : runSharded(tc, rng, stats, blackbox_path);
         } catch (const std::exception &e) {
             violations.push_back(std::string("unexpected exception: ") +
                                  e.what());
@@ -493,10 +543,20 @@ tortureMain(const Options &options)
                 obs::TraceRecorder::instance().writeTo(options.trace);
                 report << "  trace:     " << options.trace << "\n";
             }
+            // A failure ships its full forensics bundle: metrics
+            // snapshot (recovery phase latencies + counters) and, when
+            // the dying config ran the black box, the decoded flight
+            // ring. Both land next to the report for CI to upload.
+            const std::string metrics_path =
+                options.metrics.empty() ? options.report + ".metrics.json"
+                                        : options.metrics;
+            writeMetrics(metrics_path);
+            report << "  metrics:   " << metrics_path << "\n";
+            if (std::ifstream(blackbox_path).good())
+                report << "  blackbox:  " << blackbox_path << "\n";
             std::cerr << report.str();
             std::ofstream out(options.report, std::ios::trunc);
             out << report.str();
-            writeMetrics();
             return 1;
         }
         ++iteration;
@@ -515,7 +575,7 @@ tortureMain(const Options &options)
               << stats.boundaries.value()
               << " boundaries crossed in " << elapsed() << " s (seed "
               << options.seed << ")\n";
-    writeMetrics();
+    writeMetrics(options.metrics);
     return 0;
 }
 
